@@ -1,0 +1,46 @@
+//! DER parse/encode errors.
+
+use std::fmt;
+
+/// Result alias for DER operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while parsing or encoding DER.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// Input ended before a complete TLV could be read.
+    Truncated,
+    /// A tag byte could not be decoded (e.g. high-tag-number form, which
+    /// this subset does not use).
+    InvalidTag(u8),
+    /// A length was indefinite, non-minimal, or too large for this platform.
+    InvalidLength,
+    /// The element's tag did not match what the caller expected.
+    UnexpectedTag {
+        /// Tag the caller asked for.
+        expected: crate::Tag,
+        /// Tag actually present.
+        found: crate::Tag,
+    },
+    /// The element's contents were malformed for its type.
+    InvalidValue(&'static str),
+    /// Extra bytes remained after a complete parse.
+    TrailingData,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "DER input truncated"),
+            Error::InvalidTag(b) => write!(f, "invalid or unsupported DER tag byte 0x{b:02x}"),
+            Error::InvalidLength => write!(f, "invalid DER length encoding"),
+            Error::UnexpectedTag { expected, found } => {
+                write!(f, "expected DER tag {expected:?}, found {found:?}")
+            }
+            Error::InvalidValue(what) => write!(f, "invalid DER value: {what}"),
+            Error::TrailingData => write!(f, "trailing data after DER value"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,22 @@
+//! A small DER (Distinguished Encoding Rules) encoder/decoder.
+//!
+//! Implements exactly the subset of X.690 DER needed to serialize and parse
+//! X.509 v3 certificates: definite-length TLVs, INTEGER, BOOLEAN, NULL,
+//! BIT STRING, OCTET STRING, OBJECT IDENTIFIER, UTF8String/PrintableString/
+//! IA5String, UTCTime/GeneralizedTime, SEQUENCE/SET and context-specific
+//! tags. Encoding is canonical (minimal lengths, minimal integers); the
+//! parser rejects non-minimal length encodings as DER requires.
+
+mod error;
+mod oid;
+mod reader;
+mod tag;
+mod time;
+mod writer;
+
+pub use error::{Error, Result};
+pub use oid::{oids, Oid};
+pub use reader::Parser;
+pub use tag::{Class, Tag};
+pub use time::{DateTime, Time};
+pub use writer::Encoder;

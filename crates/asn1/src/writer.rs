@@ -1,0 +1,334 @@
+//! DER encoder.
+
+use crate::{Oid, Tag, Time};
+
+/// An append-only DER encoder.
+///
+/// Values are appended in order; nested constructed values are built with
+/// [`Encoder::sequence`]/[`Encoder::write_constructed`], which encode the
+/// children into a scratch buffer so lengths come out definite and minimal.
+#[derive(Default, Clone, Debug)]
+pub struct Encoder {
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    /// New empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Finish and return the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Append a complete TLV with the given tag and content octets.
+    pub fn write_tlv(&mut self, tag: Tag, content: &[u8]) {
+        self.out.push(tag.to_byte());
+        write_length(&mut self.out, content.len());
+        self.out.extend_from_slice(content);
+    }
+
+    /// Append raw pre-encoded DER (must already be a well-formed TLV run).
+    pub fn write_raw(&mut self, der: &[u8]) {
+        self.out.extend_from_slice(der);
+    }
+
+    /// Append a constructed value whose children are written by `f`.
+    pub fn write_constructed(&mut self, tag: Tag, f: impl FnOnce(&mut Encoder)) {
+        let mut inner = Encoder::new();
+        f(&mut inner);
+        self.write_tlv(tag, &inner.out);
+    }
+
+    /// Append a SEQUENCE whose children are written by `f`.
+    pub fn sequence(&mut self, f: impl FnOnce(&mut Encoder)) {
+        self.write_constructed(Tag::SEQUENCE, f);
+    }
+
+    /// Append a SET whose children are written by `f`.
+    ///
+    /// Note: DER requires SET OF elements to be sorted; the X.509 layer only
+    /// emits single-element SETs (one attribute per RDN) so no sort is done
+    /// here.
+    pub fn set(&mut self, f: impl FnOnce(&mut Encoder)) {
+        self.write_constructed(Tag::SET, f);
+    }
+
+    /// Append an EXPLICIT context tag wrapping children written by `f`.
+    pub fn explicit(&mut self, number: u8, f: impl FnOnce(&mut Encoder)) {
+        self.write_constructed(Tag::context_constructed(number), f);
+    }
+
+    /// Append a BOOLEAN.
+    pub fn boolean(&mut self, v: bool) {
+        self.write_tlv(Tag::BOOLEAN, &[if v { 0xff } else { 0x00 }]);
+    }
+
+    /// Append NULL.
+    pub fn null(&mut self) {
+        self.write_tlv(Tag::NULL, &[]);
+    }
+
+    /// Append an INTEGER from big-endian unsigned magnitude bytes
+    /// (canonical two's-complement form is produced; empty input encodes 0).
+    pub fn integer_unsigned(&mut self, magnitude_be: &[u8]) {
+        let content = unsigned_to_der_integer(magnitude_be);
+        self.write_tlv(Tag::INTEGER, &content);
+    }
+
+    /// Append an INTEGER from an `i64`.
+    pub fn integer_i64(&mut self, v: i64) {
+        let bytes = v.to_be_bytes();
+        // Trim redundant leading bytes while preserving the sign bit.
+        let mut start = 0;
+        while start < 7 {
+            let cur = bytes[start];
+            let next_top = bytes[start + 1] & 0x80;
+            if (cur == 0x00 && next_top == 0) || (cur == 0xff && next_top != 0) {
+                start += 1;
+            } else {
+                break;
+            }
+        }
+        self.write_tlv(Tag::INTEGER, &bytes[start..]);
+    }
+
+    /// Append a BIT STRING with zero unused bits.
+    pub fn bit_string(&mut self, data: &[u8]) {
+        let mut content = Vec::with_capacity(data.len() + 1);
+        content.push(0); // unused bits
+        content.extend_from_slice(data);
+        self.write_tlv(Tag::BIT_STRING, &content);
+    }
+
+    /// Append a named-bit-list BIT STRING (for KeyUsage). `bits[i]` is bit
+    /// `i` in DER named-bit order (bit 0 = most significant bit of first
+    /// octet). Trailing zero bits are trimmed per DER.
+    pub fn bit_string_named(&mut self, bits: &[bool]) {
+        let last_set = bits.iter().rposition(|&b| b);
+        match last_set {
+            None => self.write_tlv(Tag::BIT_STRING, &[0]),
+            Some(last) => {
+                let nbytes = last / 8 + 1;
+                let mut data = vec![0u8; nbytes];
+                for (i, &bit) in bits.iter().enumerate().take(last + 1) {
+                    if bit {
+                        data[i / 8] |= 0x80 >> (i % 8);
+                    }
+                }
+                let unused = (7 - last % 8) as u8;
+                let mut content = Vec::with_capacity(nbytes + 1);
+                content.push(unused);
+                content.extend_from_slice(&data);
+                self.write_tlv(Tag::BIT_STRING, &content);
+            }
+        }
+    }
+
+    /// Append an OCTET STRING.
+    pub fn octet_string(&mut self, data: &[u8]) {
+        self.write_tlv(Tag::OCTET_STRING, data);
+    }
+
+    /// Append an OBJECT IDENTIFIER.
+    pub fn oid(&mut self, oid: &Oid) {
+        self.write_tlv(Tag::OID, &oid.encode_content());
+    }
+
+    /// Append a UTF8String.
+    pub fn utf8_string(&mut self, s: &str) {
+        self.write_tlv(Tag::UTF8_STRING, s.as_bytes());
+    }
+
+    /// Append a PrintableString (caller must ensure charset validity).
+    pub fn printable_string(&mut self, s: &str) {
+        self.write_tlv(Tag::PRINTABLE_STRING, s.as_bytes());
+    }
+
+    /// Append an IA5String (caller must ensure ASCII).
+    pub fn ia5_string(&mut self, s: &str) {
+        self.write_tlv(Tag::IA5_STRING, s.as_bytes());
+    }
+
+    /// Append a Time as UTCTime or GeneralizedTime per RFC 5280.
+    pub fn time(&mut self, t: Time) {
+        let (generalized, bytes) = t.encode_der();
+        let tag = if generalized {
+            Tag::GENERALIZED_TIME
+        } else {
+            Tag::UTC_TIME
+        };
+        self.write_tlv(tag, &bytes);
+    }
+}
+
+/// Encode a definite-length (short or minimal long form).
+fn write_length(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = len.to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        let sig = &bytes[skip..];
+        out.push(0x80 | sig.len() as u8);
+        out.extend_from_slice(sig);
+    }
+}
+
+/// Convert an unsigned big-endian magnitude into canonical DER INTEGER
+/// content octets.
+fn unsigned_to_der_integer(magnitude_be: &[u8]) -> Vec<u8> {
+    let stripped: &[u8] = {
+        let skip = magnitude_be.iter().take_while(|&&b| b == 0).count();
+        &magnitude_be[skip..]
+    };
+    if stripped.is_empty() {
+        return vec![0];
+    }
+    let mut out = Vec::with_capacity(stripped.len() + 1);
+    if stripped[0] & 0x80 != 0 {
+        out.push(0);
+    }
+    out.extend_from_slice(stripped);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_and_long_lengths() {
+        let mut e = Encoder::new();
+        e.octet_string(&[0xaa; 5]);
+        assert_eq!(&e.finish()[..2], &[0x04, 0x05]);
+
+        let mut e = Encoder::new();
+        e.octet_string(&[0xbb; 200]);
+        let out = e.finish();
+        assert_eq!(&out[..3], &[0x04, 0x81, 200]);
+
+        let mut e = Encoder::new();
+        e.octet_string(&[0xcc; 70000]);
+        let out = e.finish();
+        assert_eq!(&out[..4], &[0x04, 0x83, 0x01, 0x11]);
+        assert_eq!(out[4], 0x70);
+    }
+
+    #[test]
+    fn integers_are_canonical() {
+        let mut e = Encoder::new();
+        e.integer_unsigned(&[]);
+        e.integer_unsigned(&[0x00]);
+        e.integer_unsigned(&[0x7f]);
+        e.integer_unsigned(&[0x80]);
+        e.integer_unsigned(&[0x00, 0x00, 0x01]);
+        let out = e.finish();
+        assert_eq!(
+            out,
+            vec![
+                0x02, 0x01, 0x00, // 0
+                0x02, 0x01, 0x00, // 0
+                0x02, 0x01, 0x7f, // 127
+                0x02, 0x02, 0x00, 0x80, // 128 needs a leading zero
+                0x02, 0x01, 0x01, // 1
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_i64_values() {
+        let cases: Vec<(i64, Vec<u8>)> = vec![
+            (0, vec![0x02, 0x01, 0x00]),
+            (1, vec![0x02, 0x01, 0x01]),
+            (127, vec![0x02, 0x01, 0x7f]),
+            (128, vec![0x02, 0x02, 0x00, 0x80]),
+            (256, vec![0x02, 0x02, 0x01, 0x00]),
+            (-1, vec![0x02, 0x01, 0xff]),
+            (-128, vec![0x02, 0x01, 0x80]),
+            (-129, vec![0x02, 0x02, 0xff, 0x7f]),
+        ];
+        for (v, expected) in cases {
+            let mut e = Encoder::new();
+            e.integer_i64(v);
+            assert_eq!(e.finish(), expected, "value {v}");
+        }
+    }
+
+    #[test]
+    fn boolean_and_null() {
+        let mut e = Encoder::new();
+        e.boolean(true);
+        e.boolean(false);
+        e.null();
+        assert_eq!(e.finish(), vec![0x01, 0x01, 0xff, 0x01, 0x01, 0x00, 0x05, 0x00]);
+    }
+
+    #[test]
+    fn nested_sequence() {
+        let mut e = Encoder::new();
+        e.sequence(|s| {
+            s.integer_i64(1);
+            s.sequence(|inner| {
+                inner.boolean(true);
+            });
+        });
+        assert_eq!(
+            e.finish(),
+            vec![0x30, 0x08, 0x02, 0x01, 0x01, 0x30, 0x03, 0x01, 0x01, 0xff]
+        );
+    }
+
+    #[test]
+    fn named_bit_string_trims_trailing_zeros() {
+        // keyCertSign is bit 5: expect 1 content byte, 2 unused bits.
+        let mut bits = vec![false; 9];
+        bits[5] = true;
+        let mut e = Encoder::new();
+        e.bit_string_named(&bits);
+        assert_eq!(e.finish(), vec![0x03, 0x02, 0x02, 0x04]);
+
+        // digitalSignature (bit 0) + keyEncipherment (bit 2).
+        let mut e = Encoder::new();
+        e.bit_string_named(&[true, false, true]);
+        assert_eq!(e.finish(), vec![0x03, 0x02, 0x05, 0xa0]);
+
+        // Empty named bit list.
+        let mut e = Encoder::new();
+        e.bit_string_named(&[false, false]);
+        assert_eq!(e.finish(), vec![0x03, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn bit_string_plain() {
+        let mut e = Encoder::new();
+        e.bit_string(&[0xde, 0xad]);
+        assert_eq!(e.finish(), vec![0x03, 0x03, 0x00, 0xde, 0xad]);
+    }
+
+    #[test]
+    fn strings() {
+        let mut e = Encoder::new();
+        e.utf8_string("ab");
+        e.printable_string("CD");
+        e.ia5_string("e.f");
+        assert_eq!(
+            e.finish(),
+            vec![
+                0x0c, 0x02, b'a', b'b', 0x13, 0x02, b'C', b'D', 0x16, 0x03, b'e', b'.', b'f'
+            ]
+        );
+    }
+}

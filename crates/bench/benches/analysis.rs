@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the server-side analyses: topology graphs,
+//! order analysis, completeness, and corpus generation throughput.
+
+use ccc_core::{analyze_order, CompletenessAnalyzer, IssuanceChecker, TopologyGraph};
+use ccc_testgen::{Corpus, CorpusSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_analysis(c: &mut Criterion) {
+    let corpus = Corpus::new(CorpusSpec::calibrated(55, 64));
+    let observations = corpus.collect();
+    let checker = IssuanceChecker::new();
+    let analyzer =
+        CompletenessAnalyzer::new(&checker, corpus.programs.unified(), Some(&corpus.aia));
+    // Warm the signature cache so the benches measure analysis logic.
+    for obs in &observations {
+        let _ = analyzer.analyze(&obs.served);
+    }
+
+    let mut group = c.benchmark_group("analysis");
+    group.throughput(Throughput::Elements(observations.len() as u64));
+    group.bench_function("topology_build_64_chains", |b| {
+        b.iter(|| {
+            for obs in &observations {
+                std::hint::black_box(TopologyGraph::build(&obs.served, &checker));
+            }
+        })
+    });
+    group.bench_function("order_analysis_64_chains", |b| {
+        b.iter(|| {
+            for obs in &observations {
+                std::hint::black_box(analyze_order(&obs.served, &checker));
+            }
+        })
+    });
+    group.bench_function("completeness_64_chains", |b| {
+        b.iter(|| {
+            for obs in &observations {
+                std::hint::black_box(analyzer.analyze(&obs.served));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let corpus = Corpus::new(CorpusSpec::calibrated(56, 1_000_000));
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("generate_32_observations", |b| {
+        let mut rank = 0usize;
+        b.iter(|| {
+            for _ in 0..32 {
+                std::hint::black_box(corpus.observation(rank % 1_000_000));
+                rank += 1;
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analysis, bench_corpus_generation
+}
+criterion_main!(benches);

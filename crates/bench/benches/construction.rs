@@ -1,0 +1,164 @@
+//! Criterion benchmarks for chain construction: each client profile on
+//! compliant, reversed, long, and multi-path chains.
+
+use ccc_asn1::Time;
+use ccc_core::builder::BuildContext;
+use ccc_core::clients::ClientKind;
+use ccc_core::IssuanceChecker;
+use ccc_crypto::{Group, KeyPair};
+use ccc_netsim::AiaRepository;
+use ccc_rootstore::{CaUniverse, RootPrograms};
+use ccc_x509::{Certificate, CertificateBuilder, DistinguishedName};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct Env {
+    universe: CaUniverse,
+    programs: RootPrograms,
+    aia: AiaRepository,
+}
+
+fn env() -> Env {
+    let universe = CaUniverse::default_with_seed(1234);
+    let programs = RootPrograms::from_universe(&universe);
+    let aia = AiaRepository::new(universe.aia_publications());
+    Env {
+        universe,
+        programs,
+        aia,
+    }
+}
+
+fn compliant_chain(env: &Env) -> Vec<Certificate> {
+    let int = &env.universe.roots[0].intermediates[0];
+    let kp = KeyPair::from_seed(Group::simulation_256(), b"bench-compliant");
+    let leaf = CertificateBuilder::leaf_profile("bench.sim").issued_by(
+        &kp.public,
+        int.cert.subject().clone(),
+        &int.keypair,
+    );
+    vec![leaf, int.cert.clone()]
+}
+
+fn reversed_chain(env: &Env) -> Vec<Certificate> {
+    let mut served = compliant_chain(env);
+    served.insert(1, env.universe.roots[0].cert.clone());
+    served
+}
+
+fn long_chain(env: &Env, total: usize) -> Vec<Certificate> {
+    let g = Group::simulation_256();
+    let root = &env.universe.roots[0];
+    let mut issuer_dn = root.cert.subject().clone();
+    let mut issuer_kp = root.keypair.clone();
+    let mut tower = Vec::new();
+    for depth in 0..total.saturating_sub(2) {
+        let kp = KeyPair::from_seed(g, format!("bench-long/{depth}").as_bytes());
+        let dn = DistinguishedName::cn(format!("Bench Deep {depth}"));
+        tower.push(CertificateBuilder::ca_profile(dn.clone()).issued_by(
+            &kp.public,
+            issuer_dn.clone(),
+            &issuer_kp,
+        ));
+        issuer_dn = dn;
+        issuer_kp = kp;
+    }
+    let leaf_kp = KeyPair::from_seed(g, b"bench-long-leaf");
+    let leaf = CertificateBuilder::leaf_profile("benchlong.sim").issued_by(
+        &leaf_kp.public,
+        issuer_dn,
+        &issuer_kp,
+    );
+    let mut served = vec![leaf];
+    served.extend(tower.into_iter().rev());
+    served.push(root.cert.clone());
+    served
+}
+
+fn bench_clients(c: &mut Criterion) {
+    let env = env();
+    let checker = IssuanceChecker::new();
+    let now = Time::from_ymd(2024, 7, 1).unwrap();
+    let cases = [
+        ("compliant_2", compliant_chain(&env)),
+        ("reversed_3", reversed_chain(&env)),
+        ("long_10", long_chain(&env, 10)),
+    ];
+    let mut group = c.benchmark_group("construction");
+    for (case_name, served) in &cases {
+        for kind in [ClientKind::OpenSsl, ClientKind::MbedTls, ClientKind::Chrome] {
+            let engine = kind.engine();
+            group.bench_with_input(
+                BenchmarkId::new(*case_name, kind.name()),
+                served,
+                |b, served| {
+                    b.iter(|| {
+                        let ctx = BuildContext {
+                            store: env.programs.unified(),
+                            aia: Some(&env.aia),
+                            cache: &[],
+                            now,
+                            checker: &checker,
+                        };
+                        std::hint::black_box(engine.process(served, &ctx))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cold_vs_warm_cache(c: &mut Criterion) {
+    // The IssuanceChecker memoizes signature checks: the second pass over
+    // the same chain should be much cheaper.
+    let env = env();
+    let served = long_chain(&env, 10);
+    let now = Time::from_ymd(2024, 7, 1).unwrap();
+    let engine = ClientKind::Chrome.engine();
+    let mut group = c.benchmark_group("signature_memoization");
+    group.sample_size(20);
+    group.bench_function("cold_checker", |b| {
+        b.iter(|| {
+            let checker = IssuanceChecker::new();
+            let ctx = BuildContext {
+                store: env.programs.unified(),
+                aia: Some(&env.aia),
+                cache: &[],
+                now,
+                checker: &checker,
+            };
+            std::hint::black_box(engine.process(&served, &ctx))
+        })
+    });
+    let warm = IssuanceChecker::new();
+    {
+        let ctx = BuildContext {
+            store: env.programs.unified(),
+            aia: Some(&env.aia),
+            cache: &[],
+            now,
+            checker: &warm,
+        };
+        engine.process(&served, &ctx);
+    }
+    group.bench_function("warm_checker", |b| {
+        b.iter(|| {
+            let ctx = BuildContext {
+                store: env.programs.unified(),
+                aia: Some(&env.aia),
+                cache: &[],
+                now,
+                checker: &warm,
+            };
+            std::hint::black_box(engine.process(&served, &ctx))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_clients, bench_cold_vs_warm_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Ablation study over the chain-construction capabilities the paper's
+//! §6.2 recommends: starting from a fully capable client, knock out one
+//! capability at a time and measure the acceptance rate (and work done)
+//! over the non-compliant corpus subset.
+//!
+//! `cargo run --release --bin ablation [domains]`
+
+use ccc_bench::{domains_from_env, scan_corpus};
+use ccc_core::builder::{BuildContext, BuilderPolicy, ChainEngine, KidPriority, SearchScope,
+    ValidityPriority};
+use ccc_core::report::{count_pct, TextTable};
+use ccc_core::{analyze_compliance, CompletenessAnalyzer, IssuanceChecker};
+use ccc_testgen::corpus::scan_time;
+
+fn variants() -> Vec<(&'static str, BuilderPolicy)> {
+    let full = BuilderPolicy::full_capability("full");
+    vec![
+        ("full capability", full.clone()),
+        (
+            "no AIA completion",
+            BuilderPolicy { aia: false, ..full.clone() },
+        ),
+        (
+            "no backtracking",
+            BuilderPolicy { backtracking: false, ..full.clone() },
+        ),
+        (
+            "no reordering (forward scan)",
+            BuilderPolicy {
+                scope: SearchScope::ForwardOnly,
+                partial_validation: true,
+                ..full.clone()
+            },
+        ),
+        (
+            "flat priorities",
+            BuilderPolicy {
+                kid_priority: KidPriority::NoPreference,
+                validity_priority: ValidityPriority::NoPreference,
+                key_usage_priority: false,
+                basic_constraints_priority: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no trusted-first preference",
+            BuilderPolicy { trusted_first: false, ..full.clone() },
+        ),
+        (
+            "path limit = 8 (Firefox-like)",
+            BuilderPolicy { max_path_len: Some(8), ..full.clone() },
+        ),
+        (
+            "list limit = 16 (GnuTLS-like)",
+            BuilderPolicy { max_list_len: Some(16), ..full.clone() },
+        ),
+        // Interactions: AIA completion can mask the loss of other
+        // capabilities (a fetch recovers an out-of-position issuer), so
+        // the paper's I-1/I-3 client deficits only show once AIA is gone.
+        (
+            "no AIA + no reordering (MbedTLS-like)",
+            BuilderPolicy {
+                aia: false,
+                scope: SearchScope::ForwardOnly,
+                partial_validation: true,
+                ..full.clone()
+            },
+        ),
+        (
+            "no AIA + no backtracking (OpenSSL-like)",
+            BuilderPolicy {
+                aia: false,
+                backtracking: false,
+                ..full
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let domains = domains_from_env();
+    eprintln!("generating {domains} domains, ablating over the non-compliant subset…");
+    let corpus = scan_corpus(domains);
+    let checker = IssuanceChecker::new();
+    let analyzer =
+        CompletenessAnalyzer::new(&checker, corpus.programs.unified(), Some(&corpus.aia));
+
+    // Collect the non-compliant subset once.
+    let mut subset = Vec::new();
+    corpus.for_each(|obs| {
+        let report = analyze_compliance(&obs.domain, &obs.served, &checker, &analyzer);
+        if !report.is_compliant() {
+            subset.push(obs.served);
+        }
+    });
+    eprintln!("non-compliant subset: {} chains", subset.len());
+
+    let ctx = BuildContext {
+        store: corpus.programs.unified(),
+        aia: Some(&corpus.aia),
+        cache: &[],
+        now: scan_time(),
+        checker: &checker,
+    };
+    let mut table = TextTable::new(
+        "Capability ablation over non-compliant chains",
+        &["Variant", "Accepted", "Avg candidates", "Avg AIA fetches", "Avg backtracks"],
+    );
+    for (name, policy) in variants() {
+        let engine = ChainEngine::new(policy);
+        let mut accepted = 0usize;
+        let mut candidates = 0usize;
+        let mut fetches = 0usize;
+        let mut backtracks = 0usize;
+        for served in &subset {
+            let outcome = engine.process(served, &ctx);
+            if outcome.accepted() {
+                accepted += 1;
+            }
+            candidates += outcome.stats.candidates_considered;
+            fetches += outcome.stats.aia_fetches;
+            backtracks += outcome.stats.backtracks;
+        }
+        let n = subset.len().max(1);
+        table.row(&[
+            name.to_string(),
+            count_pct(accepted, subset.len()),
+            format!("{:.2}", candidates as f64 / n as f64),
+            format!("{:.3}", fetches as f64 / n as f64),
+            format!("{:.3}", backtracks as f64 / n as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper §6.2: completion (AIA or cache) is the dominant capability, then\n\
+         backtracking, then order reorganization; the trusted-first preference\n\
+         saves construction attempts without changing outcomes."
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates paper Figure 4 / finding I-3: the moex.gov.tw multi-path
+//! case where only backtracking clients find the trusted path.
+//!
+//! `cargo run --release --bin figure4`
+
+use ccc_core::builder::BuildContext;
+use ccc_core::clients::client_profiles;
+use ccc_core::report::TextTable;
+use ccc_core::{IssuanceChecker, TopologyGraph};
+use ccc_testgen::scenarios::ScenarioSet;
+
+fn main() {
+    let set = ScenarioSet::new(5);
+    let scenario = set.figure4();
+    println!("{} — {}", scenario.name, scenario.description);
+    let checker = IssuanceChecker::new();
+    let graph = TopologyGraph::build(&scenario.served, &checker);
+    println!("graph: {}\n", graph.describe());
+
+    let ctx = BuildContext {
+        store: &set.store,
+        aia: Some(&set.aia),
+        cache: &[],
+        now: set.now,
+        checker: &checker,
+    };
+    let mut table = TextTable::new(
+        "Client verdicts",
+        &["Client", "Verdict", "Backtracks", "Terminal"],
+    );
+    for (kind, engine) in client_profiles() {
+        let outcome = engine.process(&scenario.served, &ctx);
+        let terminal = outcome
+            .path
+            .last()
+            .map(|c| c.subject().to_string())
+            .unwrap_or_default();
+        table.row(&[
+            kind.name().to_string(),
+            match &outcome.verdict {
+                Ok(()) => "accepted".into(),
+                Err(e) => format!("REJECTED: {e}"),
+            },
+            outcome.stats.backtracks.to_string(),
+            terminal,
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper I-3: OpenSSL and GnuTLS walked into the untrusted government branch;\n\
+         CryptoAPI backtracked to the trusted path; MbedTLS's outcome depended only\n\
+         on served order."
+    );
+}

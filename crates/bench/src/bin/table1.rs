@@ -1,0 +1,23 @@
+//! Regenerates paper Table 1: capability coverage of BetterTLS vs this
+//! work.
+//!
+//! `cargo run --release --bin table1`
+
+use ccc_core::clients::capability_coverage;
+use ccc_core::report::{check, TextTable};
+
+fn main() {
+    let mut table = TextTable::new(
+        "Table 1 — Client chain-building capability coverage: BetterTLS vs this work",
+        &["Group", "Capability", "BetterTLS", "This Work"],
+    );
+    for (group, capability, bettertls, this_work) in capability_coverage() {
+        table.row(&[
+            group.to_string(),
+            capability.to_string(),
+            check(bettertls).to_string(),
+            check(this_work).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,55 @@
+//! Regenerates paper Table 10: HTTP servers used by domains with
+//! non-compliant certificate chains.
+//!
+//! `cargo run --release --bin table10 [domains]`
+
+use ccc_bench::{domains_from_env, scan_corpus, server_columns, CorpusSummary};
+use ccc_core::report::{count_pct, TextTable};
+
+fn main() {
+    let domains = domains_from_env();
+    eprintln!("scanning {domains} synthetic domains…");
+    let corpus = scan_corpus(domains);
+    let s = CorpusSummary::compute(&corpus);
+
+    let columns = server_columns();
+    let mut header = vec!["Non-compliant Type"];
+    header.extend(columns.iter().copied());
+    header.push("Total");
+    let mut table = TextTable::new(
+        "Table 10 — HTTP servers of domains with non-compliant chains",
+        &header,
+    );
+
+    let metric =
+        |f: &dyn Fn(&ccc_bench::DefectCounts) -> usize| -> (Vec<usize>, usize) {
+            let counts: Vec<usize> = columns
+                .iter()
+                .map(|c| s.by_server.get(c).map(|d| f(d)).unwrap_or(0))
+                .collect();
+            let total = counts.iter().sum();
+            (counts, total)
+        };
+    let rows: Vec<(&str, &dyn Fn(&ccc_bench::DefectCounts) -> usize)> = vec![
+        ("Overview (any)", &|d| d.any),
+        ("Duplicate Certificates", &|d| d.duplicates),
+        ("Duplicate Leaf", &|d| d.duplicate_leaf),
+        ("Irrelevant Certificates", &|d| d.irrelevant),
+        ("Multiple Paths", &|d| d.multipath),
+        ("Reversed Sequences", &|d| d.reversed),
+        ("Incomplete Chain", &|d| d.incomplete),
+    ];
+    for (label, f) in rows {
+        let (counts, total) = metric(f);
+        let mut row = vec![label.to_string()];
+        row.extend(counts.iter().map(|&c| count_pct(c, total)));
+        row.push(total.to_string());
+        table.row(&row);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper Table 10 shape to check: Apache leads duplicates (56.1%, and 63.3% of\n\
+         duplicate leaves) thanks to its two-file layout; Azure shows ~0 duplicate\n\
+         leaves (upload check); Nginx leads reversed sequences."
+    );
+}

@@ -1,0 +1,541 @@
+//! Experiment harness shared by the table/figure regeneration binaries.
+//!
+//! Every `table*`/`figure*`/`section52` binary drives a single streaming
+//! pass over a calibrated corpus ([`CorpusSummary::compute`]) and prints
+//! its slice of the accumulated statistics next to the paper's published
+//! values, so "shape" comparisons are one `cargo run` away.
+//!
+//! Scale control: binaries default to 100,000 domains; set `CCC_DOMAINS`
+//! (or pass the count as the first CLI argument) to change it. The paper's
+//! absolute counts are for 906,336 chains; percentages are the comparable
+//! quantity.
+
+use ccc_core::clients::ClientKind;
+use ccc_core::completeness::RootResolution;
+use ccc_core::{
+    analyze_compliance, Completeness, CompletenessAnalyzer, DifferentialHarness,
+    DifferentialReport, DiscrepancyCause, IncompleteReason, IssuanceChecker, LeafPlacement,
+    NonCompliance, TopologyGraph,
+};
+use ccc_netsim::httpserver::HttpServerKind;
+use ccc_rootstore::RootProgram;
+use ccc_testgen::corpus::scan_time;
+use ccc_testgen::{Corpus, CorpusSpec};
+use std::collections::BTreeMap;
+
+/// Default corpus size for the regeneration binaries.
+pub const DEFAULT_DOMAINS: usize = 100_000;
+
+/// The corpus seed used by every regeneration binary (the "scan").
+pub const SCAN_SEED: u64 = 833;
+
+/// Resolve the corpus size: CLI arg > `CCC_DOMAINS` env > default.
+pub fn domains_from_env() -> usize {
+    if let Some(arg) = std::env::args().nth(1) {
+        if let Ok(n) = arg.parse() {
+            return n;
+        }
+    }
+    std::env::var("CCC_DOMAINS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_DOMAINS)
+}
+
+/// Build the standard scan corpus.
+pub fn scan_corpus(domains: usize) -> Corpus {
+    Corpus::new(CorpusSpec::calibrated(SCAN_SEED, domains))
+}
+
+/// Per-(store, AIA) completeness tallies for Table 8.
+#[derive(Clone, Debug, Default)]
+pub struct StoreCompleteness {
+    /// Chains NOT anchorable with AIA enabled.
+    pub incomplete_with_aia: usize,
+    /// Chains NOT anchorable without AIA.
+    pub incomplete_without_aia: usize,
+}
+
+/// Cross-tab row used by Tables 10/11: counts per non-compliance type.
+#[derive(Clone, Debug, Default)]
+pub struct DefectCounts {
+    /// Any non-compliance at all.
+    pub any: usize,
+    /// Duplicate certificates (plus leaf-only split).
+    pub duplicates: usize,
+    /// Duplicate leaf specifically.
+    pub duplicate_leaf: usize,
+    /// Irrelevant certificates.
+    pub irrelevant: usize,
+    /// Multiple paths.
+    pub multipath: usize,
+    /// Reversed sequences.
+    pub reversed: usize,
+    /// Incomplete chain.
+    pub incomplete: usize,
+    /// Total observations in this bucket (for rate columns).
+    pub total: usize,
+}
+
+/// Everything a single streaming pass over the corpus accumulates.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusSummary {
+    /// Domains scanned.
+    pub total: usize,
+    /// Table 3.
+    pub placement: BTreeMap<LeafPlacement, usize>,
+    /// Table 5 rows.
+    pub dup_chains: usize,
+    /// Duplicate split: leaf/intermediate/root occurrences.
+    pub dup_leaf_chains: usize,
+    /// Chains with duplicated intermediates.
+    pub dup_intermediate_chains: usize,
+    /// Chains with duplicated roots.
+    pub dup_root_chains: usize,
+    /// Irrelevant-certificate chains.
+    pub irrelevant_chains: usize,
+    /// Multiple-path chains.
+    pub multipath_chains: usize,
+    /// Reversed-sequence chains.
+    pub reversed_chains: usize,
+    /// Chains where ALL paths are reversed.
+    pub all_paths_reversed_chains: usize,
+    /// Any order non-compliance.
+    pub order_noncompliant: usize,
+    /// Table 7.
+    pub completeness: BTreeMap<Completeness, usize>,
+    /// Incomplete chains recoverable via AIA.
+    pub aia_completable: usize,
+    /// Incomplete chains missing exactly one intermediate.
+    pub missing_single_intermediate: usize,
+    /// AIA failure reasons among non-recoverable incompletes.
+    pub incomplete_reasons: BTreeMap<&'static str, usize>,
+    /// Chains that located the omitted root via AIA rather than SKID.
+    pub root_via_aia: usize,
+    /// Overall non-compliant domains (order ∪ incomplete ∪ misplaced).
+    pub noncompliant: usize,
+    /// Table 8: per root program.
+    pub store_completeness: BTreeMap<RootProgram, StoreCompleteness>,
+    /// Unified-store baseline incompleteness (with AIA).
+    pub unified_incomplete_with_aia: usize,
+    /// Unified-store incompleteness without AIA.
+    pub unified_incomplete_without_aia: usize,
+    /// Table 10: per server bucket.
+    pub by_server: BTreeMap<&'static str, DefectCounts>,
+    /// Table 11: per CA bucket.
+    pub by_ca: BTreeMap<&'static str, DefectCounts>,
+    /// Longest served list seen.
+    pub longest_list: usize,
+}
+
+impl CorpusSummary {
+    /// One pass over `corpus`, parallelized across available cores (the
+    /// corpus is rank-independent by construction; partial summaries are
+    /// merged).
+    pub fn compute(corpus: &Corpus) -> CorpusSummary {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        if threads <= 1 || corpus.spec.domains < 256 {
+            return Self::compute_range(corpus, 0, corpus.spec.domains);
+        }
+        let chunk = corpus.spec.domains.div_ceil(threads);
+        let partials: Vec<CorpusSummary> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(corpus.spec.domains);
+                    scope.spawn(move || Self::compute_range(corpus, start, end))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+        let mut total = CorpusSummary {
+            total: corpus.spec.domains,
+            ..Default::default()
+        };
+        for p in partials {
+            total.merge(p);
+        }
+        total
+    }
+
+    fn merge(&mut self, other: CorpusSummary) {
+        for (k, v) in other.placement {
+            *self.placement.entry(k).or_insert(0) += v;
+        }
+        self.dup_chains += other.dup_chains;
+        self.dup_leaf_chains += other.dup_leaf_chains;
+        self.dup_intermediate_chains += other.dup_intermediate_chains;
+        self.dup_root_chains += other.dup_root_chains;
+        self.irrelevant_chains += other.irrelevant_chains;
+        self.multipath_chains += other.multipath_chains;
+        self.reversed_chains += other.reversed_chains;
+        self.all_paths_reversed_chains += other.all_paths_reversed_chains;
+        self.order_noncompliant += other.order_noncompliant;
+        for (k, v) in other.completeness {
+            *self.completeness.entry(k).or_insert(0) += v;
+        }
+        self.aia_completable += other.aia_completable;
+        self.missing_single_intermediate += other.missing_single_intermediate;
+        for (k, v) in other.incomplete_reasons {
+            *self.incomplete_reasons.entry(k).or_insert(0) += v;
+        }
+        self.root_via_aia += other.root_via_aia;
+        self.noncompliant += other.noncompliant;
+        for (k, v) in other.store_completeness {
+            let e = self.store_completeness.entry(k).or_default();
+            e.incomplete_with_aia += v.incomplete_with_aia;
+            e.incomplete_without_aia += v.incomplete_without_aia;
+        }
+        self.unified_incomplete_with_aia += other.unified_incomplete_with_aia;
+        self.unified_incomplete_without_aia += other.unified_incomplete_without_aia;
+        for (k, v) in other.by_server {
+            let e = self.by_server.entry(k).or_default();
+            e.any += v.any;
+            e.duplicates += v.duplicates;
+            e.duplicate_leaf += v.duplicate_leaf;
+            e.irrelevant += v.irrelevant;
+            e.multipath += v.multipath;
+            e.reversed += v.reversed;
+            e.incomplete += v.incomplete;
+            e.total += v.total;
+        }
+        for (k, v) in other.by_ca {
+            let e = self.by_ca.entry(k).or_default();
+            e.any += v.any;
+            e.duplicates += v.duplicates;
+            e.duplicate_leaf += v.duplicate_leaf;
+            e.irrelevant += v.irrelevant;
+            e.multipath += v.multipath;
+            e.reversed += v.reversed;
+            e.incomplete += v.incomplete;
+            e.total += v.total;
+        }
+        self.longest_list = self.longest_list.max(other.longest_list);
+    }
+
+    /// Sequential pass over a rank range.
+    fn compute_range(corpus: &Corpus, start: usize, end: usize) -> CorpusSummary {
+        let checker = IssuanceChecker::new();
+        let analyzer =
+            CompletenessAnalyzer::new(&checker, corpus.programs.unified(), Some(&corpus.aia));
+        let no_aia_analyzer =
+            CompletenessAnalyzer::new(&checker, corpus.programs.unified(), None);
+        let program_analyzers: Vec<(RootProgram, CompletenessAnalyzer, CompletenessAnalyzer)> =
+            RootProgram::ALL
+                .iter()
+                .map(|&p| {
+                    (
+                        p,
+                        CompletenessAnalyzer::new(
+                            &checker,
+                            corpus.programs.store(p),
+                            Some(&corpus.aia),
+                        ),
+                        CompletenessAnalyzer::new(&checker, corpus.programs.store(p), None),
+                    )
+                })
+                .collect();
+
+        let mut s = CorpusSummary {
+            total: end - start,
+            ..Default::default()
+        };
+        let mut handle = |obs: ccc_testgen::DomainObservation| {
+            let report = analyze_compliance(&obs.domain, &obs.served, &checker, &analyzer);
+            *s.placement.entry(report.leaf_placement).or_insert(0) += 1;
+            *s.completeness
+                .entry(report.completeness.completeness)
+                .or_insert(0) += 1;
+            s.longest_list = s.longest_list.max(obs.served.len());
+
+            let order = &report.order;
+            let mut any_order = false;
+            if order.has_duplicates() {
+                s.dup_chains += 1;
+                any_order = true;
+                if order.duplicates.leaf > 0 {
+                    s.dup_leaf_chains += 1;
+                }
+                if order.duplicates.intermediate > 0 {
+                    s.dup_intermediate_chains += 1;
+                }
+                if order.duplicates.root > 0 {
+                    s.dup_root_chains += 1;
+                }
+            }
+            if order.has_irrelevant() {
+                s.irrelevant_chains += 1;
+                any_order = true;
+            }
+            if order.has_multiple_paths() {
+                s.multipath_chains += 1;
+                any_order = true;
+            }
+            if order.has_reversed() {
+                s.reversed_chains += 1;
+                any_order = true;
+                if order.all_paths_reversed {
+                    s.all_paths_reversed_chains += 1;
+                }
+            }
+            if any_order {
+                s.order_noncompliant += 1;
+            }
+            if !report.is_compliant() {
+                s.noncompliant += 1;
+            }
+
+            let comp = &report.completeness;
+            if comp.completeness == Completeness::Incomplete {
+                if comp.aia_completable {
+                    s.aia_completable += 1;
+                    if comp.missing_intermediates == 1 {
+                        s.missing_single_intermediate += 1;
+                    }
+                } else if let Some(reason) = comp.incomplete_reason {
+                    let label = match reason {
+                        IncompleteReason::NoAiaField => "AIA field missing",
+                        IncompleteReason::AiaUriDead => "AIA URI dead",
+                        IncompleteReason::AiaWrongCertificate => "AIA served wrong certificate",
+                        IncompleteReason::AiaChainNotTerminating => "AIA descent not terminating",
+                    };
+                    *s.incomplete_reasons.entry(label).or_insert(0) += 1;
+                }
+            }
+            if let Some(RootResolution::AiaResolved { .. }) = comp.resolution {
+                s.root_via_aia += 1;
+            }
+
+            // Table 8 passes.
+            let graph = TopologyGraph::build(&obs.served, &checker);
+            if !analyzer.client_complete(&graph) {
+                s.unified_incomplete_with_aia += 1;
+            }
+            if !no_aia_analyzer.client_complete(&graph) {
+                s.unified_incomplete_without_aia += 1;
+            }
+            for (program, with_aia, without_aia) in &program_analyzers {
+                let entry = s.store_completeness.entry(*program).or_default();
+                if !with_aia.client_complete(&graph) {
+                    entry.incomplete_with_aia += 1;
+                }
+                if !without_aia.client_complete(&graph) {
+                    entry.incomplete_without_aia += 1;
+                }
+            }
+
+            // Tables 10/11 cross-tabs.
+            let server_label = obs.server.display_name();
+            let ca_label = obs.ca;
+            for bucket in [
+                s.by_server.entry(server_label).or_default(),
+                s.by_ca.entry(ca_label).or_default(),
+            ] {
+                bucket.total += 1;
+                if !report.is_compliant() {
+                    bucket.any += 1;
+                }
+                for finding in &report.findings {
+                    match finding {
+                        NonCompliance::DuplicateCertificates => {
+                            bucket.duplicates += 1;
+                            if order.duplicates.leaf > 0 {
+                                bucket.duplicate_leaf += 1;
+                            }
+                        }
+                        NonCompliance::IrrelevantCertificates => bucket.irrelevant += 1,
+                        NonCompliance::MultiplePaths => bucket.multipath += 1,
+                        NonCompliance::ReversedSequence => bucket.reversed += 1,
+                        NonCompliance::IncompleteChain => bucket.incomplete += 1,
+                        NonCompliance::LeafMisplaced => {}
+                    }
+                }
+            }
+        };
+        for rank in start..end {
+            handle(corpus.observation(rank));
+        }
+        s
+    }
+}
+
+/// Differential pass (the §5.2 harness over non-compliant chains plus
+/// whole-corpus availability counts).
+#[derive(Clone, Debug, Default)]
+pub struct DifferentialSummary {
+    /// Aggregate over the non-compliant subset.
+    pub report: DifferentialReport,
+    /// Chains in the whole corpus failing in ≥1 library.
+    pub corpus_library_failures: usize,
+    /// Chains in the whole corpus failing in ≥1 browser.
+    pub corpus_browser_failures: usize,
+    /// Whole corpus size.
+    pub corpus_total: usize,
+    /// Non-compliant chains whose discrepancy causes were attributed.
+    pub cause_examples: BTreeMap<DiscrepancyCause, String>,
+}
+
+impl DifferentialSummary {
+    /// Run the differential harness over the corpus (parallel over rank
+    /// ranges, partials merged).
+    pub fn compute(corpus: &Corpus) -> DifferentialSummary {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        if threads <= 1 || corpus.spec.domains < 256 {
+            return Self::compute_range(corpus, 0, corpus.spec.domains);
+        }
+        let chunk = corpus.spec.domains.div_ceil(threads);
+        let partials: Vec<DifferentialSummary> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(corpus.spec.domains);
+                    scope.spawn(move || Self::compute_range(corpus, start, end))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+        let mut total = DifferentialSummary {
+            corpus_total: corpus.spec.domains,
+            ..Default::default()
+        };
+        for p in partials {
+            total.merge(p);
+        }
+        total
+    }
+
+    fn merge(&mut self, other: DifferentialSummary) {
+        let r = &mut self.report;
+        let o = other.report;
+        r.total += o.total;
+        r.all_browsers_pass += o.all_browsers_pass;
+        r.all_libraries_pass += o.all_libraries_pass;
+        r.browser_discrepancies += o.browser_discrepancies;
+        r.library_discrepancies += o.library_discrepancies;
+        r.library_failures += o.library_failures;
+        r.browser_failures += o.browser_failures;
+        for (k, v) in o.causes {
+            *r.causes.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in o.per_client_pass {
+            *r.per_client_pass.entry(k).or_insert(0) += v;
+        }
+        self.corpus_library_failures += other.corpus_library_failures;
+        self.corpus_browser_failures += other.corpus_browser_failures;
+        for (k, v) in other.cause_examples {
+            self.cause_examples.entry(k).or_insert(v);
+        }
+    }
+
+    /// Sequential pass over a rank range.
+    fn compute_range(corpus: &Corpus, start: usize, end: usize) -> DifferentialSummary {
+        let checker = IssuanceChecker::new();
+        let analyzer =
+            CompletenessAnalyzer::new(&checker, corpus.programs.unified(), Some(&corpus.aia));
+        let harness = DifferentialHarness::new(
+            corpus.programs.unified(),
+            Some(&corpus.aia),
+            corpus.intermediate_cache(),
+            scan_time(),
+            &checker,
+        );
+        let mut s = DifferentialSummary {
+            corpus_total: end - start,
+            ..Default::default()
+        };
+        let mut handle = |obs: ccc_testgen::DomainObservation| {
+            let compliance = analyze_compliance(&obs.domain, &obs.served, &checker, &analyzer);
+            // Domain-aware run: hostname mismatches count as failures in
+            // every client (the paper's availability numbers include
+            // domain-mismatch and date errors, not just chain building).
+            let result = harness.run_for_domain(&obs.served, &obs.domain);
+            let lib_fail = result
+                .outcomes
+                .iter()
+                .any(|(k, o)| !k.is_browser() && !o.accepted());
+            let browser_fail = result
+                .outcomes
+                .iter()
+                .any(|(k, o)| k.is_browser() && !o.accepted());
+            if lib_fail {
+                s.corpus_library_failures += 1;
+            }
+            if browser_fail {
+                s.corpus_browser_failures += 1;
+            }
+            if compliance.is_compliant() {
+                return;
+            }
+            for cause in &result.causes {
+                s.cause_examples
+                    .entry(*cause)
+                    .or_insert_with(|| obs.domain.clone());
+            }
+            s.report.absorb(&result);
+        };
+        for rank in start..end {
+            handle(corpus.observation(rank));
+        }
+        s
+    }
+}
+
+/// All eight client names in Table 9 order (for table headers).
+pub fn client_names() -> Vec<&'static str> {
+    ClientKind::ALL.iter().map(|k| k.name()).collect()
+}
+
+/// The server buckets in Table 10 column order.
+pub fn server_columns() -> Vec<&'static str> {
+    let mut seen = Vec::new();
+    for kind in HttpServerKind::ALL {
+        let label = kind.display_name();
+        if !seen.contains(&label) {
+            seen.push(label);
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_over_small_corpus_is_consistent() {
+        let corpus = scan_corpus(500);
+        let s = CorpusSummary::compute(&corpus);
+        assert_eq!(s.total, 500);
+        let placed: usize = s.placement.values().sum();
+        assert_eq!(placed, 500);
+        let complete: usize = s.completeness.values().sum();
+        assert_eq!(complete, 500);
+        // Non-compliance is a small minority.
+        assert!(s.noncompliant < 50, "{}", s.noncompliant);
+        // Table 8 monotonicity: no store does better without AIA.
+        for (_, sc) in &s.store_completeness {
+            assert!(sc.incomplete_without_aia >= sc.incomplete_with_aia);
+        }
+        assert!(s.unified_incomplete_without_aia >= s.unified_incomplete_with_aia);
+        // Per-store incompleteness is at least the unified baseline.
+        for (_, sc) in &s.store_completeness {
+            assert!(sc.incomplete_with_aia >= s.unified_incomplete_with_aia);
+        }
+    }
+
+    #[test]
+    fn differential_over_small_corpus() {
+        let corpus = scan_corpus(400);
+        let d = DifferentialSummary::compute(&corpus);
+        assert_eq!(d.corpus_total, 400);
+        assert!(d.corpus_library_failures >= d.report.library_failures);
+        // Browsers fail no more often than libraries.
+        assert!(d.corpus_browser_failures <= d.corpus_library_failures);
+    }
+}

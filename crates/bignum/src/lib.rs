@@ -1,0 +1,17 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! This crate is the numeric substrate for `ccc-crypto`: it provides just
+//! enough big-integer machinery (schoolbook multiplication, Knuth-D
+//! division, modular exponentiation, Miller–Rabin primality) to implement a
+//! real discrete-log signature scheme for the synthetic Web PKI used by
+//! chain-chaos. It is deliberately simple and dependency-free rather than
+//! fast; the simulation uses a 256-bit group precisely so that this level of
+//! performance is sufficient.
+
+mod modular;
+mod prime;
+mod uint;
+
+pub use modular::{modinv, modpow};
+pub use prime::is_probable_prime;
+pub use uint::Uint;

@@ -1,0 +1,888 @@
+//! The client-side certificate path construction engine.
+//!
+//! One engine, many policies: every client the paper tests is expressed as
+//! a [`BuilderPolicy`] whose knobs correspond to the paper's nine
+//! capability dimensions (Table 2) plus the backtracking and
+//! partial-validation behaviours its §5.2 case studies expose:
+//!
+//! - **search scope** — `FullList` clients reorder the served list at
+//!   will; `ForwardOnly` models MbedTLS's sequential parent scan, which
+//!   skips irrelevant certificates (redundancy elimination ✓) but cannot
+//!   reach an issuer that appears *before* its subject (order
+//!   reorganization ✗, the paper's I-1);
+//! - **priority preferences** — KID matching (KP1/KP2), validity (VP1/
+//!   VP2), KeyUsage correctness, BasicConstraints path-length fit;
+//! - **restriction settings** — constructed-path length limits,
+//!   GnuTLS-style *input list* limits (I-2), self-signed-leaf acceptance;
+//! - **completion** — AIA fetching (I-4) and Firefox-style intermediate
+//!   caching;
+//! - **backtracking** — whether a dead end (untrusted root, invalid
+//!   candidate) rolls back to try an alternative path (I-3).
+
+use crate::topology::IssuanceChecker;
+use crate::validate::{validate_path, ValidationOptions};
+use ccc_asn1::Time;
+use ccc_netsim::AiaRepository;
+use ccc_rootstore::RootStore;
+use ccc_x509::{Certificate, CertificateFingerprint};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Validity preference among candidate issuers (paper VP footnotes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValidityPriority {
+    /// "—": no validity-based discrimination.
+    NoPreference,
+    /// VP1: the first *currently valid* candidate (list order otherwise).
+    FirstValid,
+    /// VP2: most recent notBefore, then longest validity, among valid.
+    MostRecent,
+}
+
+/// Key-identifier preference among candidate issuers (paper KP footnotes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KidPriority {
+    /// "—": no KID-based discrimination.
+    NoPreference,
+    /// KP1: match or absence preferred over mismatch.
+    MatchOrAbsentFirst,
+    /// KP2: match preferred over absence, absence over mismatch.
+    MatchFirst,
+}
+
+/// How the candidate pool is enumerated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SearchScope {
+    /// Consider every (unused) certificate in the pool, ranked by the
+    /// policy's priorities.
+    FullList,
+    /// Consider only certificates at later served positions than the
+    /// current one, in served order (the MbedTLS sequential scan).
+    ForwardOnly,
+}
+
+/// A client chain-construction policy.
+#[derive(Clone, Debug)]
+pub struct BuilderPolicy {
+    /// Display name.
+    pub name: String,
+    /// Candidate enumeration mode.
+    pub scope: SearchScope,
+    /// AIA caIssuers fetching.
+    pub aia: bool,
+    /// Use the context's intermediate cache (Firefox).
+    pub use_intermediate_cache: bool,
+    /// Validity preference.
+    pub validity_priority: ValidityPriority,
+    /// KID preference.
+    pub kid_priority: KidPriority,
+    /// Prefer candidates whose KeyUsage permits certificate signing
+    /// (correct or absent over incorrect).
+    pub key_usage_priority: bool,
+    /// Prefer candidates whose BasicConstraints path length admits the
+    /// current chain depth.
+    pub basic_constraints_priority: bool,
+    /// Prefer trusted (root-store) candidates over untrusted ones when
+    /// otherwise tied — the paper's §6.2 recommendation.
+    pub trusted_first: bool,
+    /// Maximum constructed path length in certificates (leaf and root
+    /// included); `None` = effectively unlimited (">52").
+    pub max_path_len: Option<usize>,
+    /// Maximum *served list* length accepted before construction even
+    /// starts (the GnuTLS behaviour behind I-2).
+    pub max_list_len: Option<usize>,
+    /// Whether a self-signed served leaf is accepted for construction.
+    pub allow_self_signed_leaf: bool,
+    /// Whether dead ends roll back to alternatives.
+    pub backtracking: bool,
+    /// Validate candidates (signature, validity, CA bits) during
+    /// construction and skip failures (the MbedTLS behaviour).
+    pub partial_validation: bool,
+    /// Safety valve on total candidate expansions.
+    pub max_candidate_expansions: usize,
+}
+
+impl BuilderPolicy {
+    /// A permissive, fully capable baseline policy (useful in tests and as
+    /// an ablation starting point).
+    pub fn full_capability(name: impl Into<String>) -> BuilderPolicy {
+        BuilderPolicy {
+            name: name.into(),
+            scope: SearchScope::FullList,
+            aia: true,
+            use_intermediate_cache: false,
+            validity_priority: ValidityPriority::MostRecent,
+            kid_priority: KidPriority::MatchFirst,
+            key_usage_priority: true,
+            basic_constraints_priority: true,
+            trusted_first: true,
+            max_path_len: None,
+            max_list_len: None,
+            allow_self_signed_leaf: false,
+            backtracking: true,
+            partial_validation: false,
+            max_candidate_expansions: 4096,
+        }
+    }
+}
+
+/// Errors a client reports when construction or validation fails — the
+/// shared vocabulary the differential harness compares across clients.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ClientError {
+    /// The server sent no certificates.
+    EmptyList,
+    /// Served list longer than the client accepts (GnuTLS I-2).
+    TooManyCertificates,
+    /// The served leaf is self-signed and the client refuses it.
+    SelfSignedLeaf,
+    /// Construction exceeded the client's path length limit.
+    PathLengthExceeded,
+    /// No candidate issuer could be found for some certificate
+    /// (UNKNOWN_ISSUER / NOT_TRUSTED family).
+    NoIssuerFound,
+    /// A path was built but terminates at an untrusted root.
+    UntrustedRoot,
+    /// A certificate in the path is expired.
+    Expired,
+    /// A certificate in the path is not yet valid.
+    NotYetValid,
+    /// A signature along the path failed to verify.
+    BadSignature,
+    /// An intermediate lacks CA basic constraints.
+    NotACa,
+    /// An issuer's KeyUsage forbids certificate signing.
+    BadKeyUsage,
+    /// A pathLenConstraint is violated.
+    PathLenConstraintViolated,
+    /// The leaf does not cover the requested hostname (post-construction
+    /// identity check used by the domain-aware differential harness).
+    HostnameMismatch,
+}
+
+impl ClientError {
+    /// Whether the error is a *construction* failure (vs a validation
+    /// failure on a constructed path).
+    pub fn is_construction_failure(&self) -> bool {
+        matches!(
+            self,
+            ClientError::EmptyList
+                | ClientError::TooManyCertificates
+                | ClientError::SelfSignedLeaf
+                | ClientError::PathLengthExceeded
+                | ClientError::NoIssuerFound
+        )
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ClientError::EmptyList => "empty certificate list",
+            ClientError::TooManyCertificates => "too many certificates in list",
+            ClientError::SelfSignedLeaf => "self-signed leaf rejected",
+            ClientError::PathLengthExceeded => "path length limit exceeded",
+            ClientError::NoIssuerFound => "no issuer found (unknown issuer)",
+            ClientError::UntrustedRoot => "path terminates at untrusted root",
+            ClientError::Expired => "certificate expired",
+            ClientError::NotYetValid => "certificate not yet valid",
+            ClientError::BadSignature => "signature verification failed",
+            ClientError::NotACa => "issuer is not a CA",
+            ClientError::BadKeyUsage => "issuer KeyUsage forbids cert signing",
+            ClientError::PathLenConstraintViolated => "pathLenConstraint violated",
+            ClientError::HostnameMismatch => "hostname mismatch",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Everything a build needs besides the served list.
+pub struct BuildContext<'a> {
+    /// The client's trust store.
+    pub store: &'a RootStore,
+    /// AIA repository (used only when the policy enables AIA).
+    pub aia: Option<&'a AiaRepository>,
+    /// Intermediate cache contents (used only when the policy enables it).
+    pub cache: &'a [Certificate],
+    /// The simulated "now" for validity decisions.
+    pub now: Time,
+    /// Shared memoizing issuance checker.
+    pub checker: &'a IssuanceChecker,
+}
+
+/// Counters exposed for the efficiency experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Candidate issuers examined.
+    pub candidates_considered: usize,
+    /// AIA fetches performed.
+    pub aia_fetches: usize,
+    /// Dead ends rolled back.
+    pub backtracks: usize,
+}
+
+/// The result of one client's attempt on one served list.
+#[derive(Clone, Debug)]
+pub struct BuildOutcome {
+    /// The constructed certificate path (leaf first). On failure this is
+    /// the deepest path the first (greedy) attempt reached.
+    pub path: Vec<Certificate>,
+    /// Success, or the error the client would report.
+    pub verdict: Result<(), ClientError>,
+    /// Work counters.
+    pub stats: BuildStats,
+}
+
+impl BuildOutcome {
+    /// Convenience: did the client accept the chain?
+    pub fn accepted(&self) -> bool {
+        self.verdict.is_ok()
+    }
+}
+
+/// One candidate issuer under consideration.
+#[derive(Clone, Debug)]
+struct Candidate {
+    cert: Certificate,
+    /// Served position, or `usize::MAX - 1` for cache and `usize::MAX`
+    /// for store/AIA certificates (they sort after list certs).
+    list_pos: usize,
+    /// Exact membership in the trust store.
+    trusted: bool,
+}
+
+/// The chain construction engine: a policy plus entry points.
+#[derive(Clone, Debug)]
+pub struct ChainEngine {
+    /// The policy driving this engine.
+    pub policy: BuilderPolicy,
+}
+
+impl ChainEngine {
+    /// Create an engine from a policy.
+    pub fn new(policy: BuilderPolicy) -> ChainEngine {
+        ChainEngine { policy }
+    }
+
+    /// Process a served certificate list: construct a path and validate it.
+    pub fn process(&self, served: &[Certificate], ctx: &BuildContext<'_>) -> BuildOutcome {
+        let mut stats = BuildStats::default();
+        let p = &self.policy;
+
+        if served.is_empty() {
+            return BuildOutcome {
+                path: Vec::new(),
+                verdict: Err(ClientError::EmptyList),
+                stats,
+            };
+        }
+        if let Some(limit) = p.max_list_len {
+            if served.len() > limit {
+                return BuildOutcome {
+                    path: Vec::new(),
+                    verdict: Err(ClientError::TooManyCertificates),
+                    stats,
+                };
+            }
+        }
+        let leaf = served[0].clone();
+        if !p.allow_self_signed_leaf && leaf.is_self_issued() && ctx.checker.signature_verifies(&leaf, &leaf)
+        {
+            return BuildOutcome {
+                path: vec![leaf],
+                verdict: Err(ClientError::SelfSignedLeaf),
+                stats,
+            };
+        }
+
+        // Candidate pool: deduplicated served list (+ cache). AIA-fetched
+        // certificates are appended during the search.
+        let mut pool: Vec<Candidate> = Vec::new();
+        let mut seen: HashSet<CertificateFingerprint> = HashSet::new();
+        for (pos, cert) in served.iter().enumerate() {
+            if seen.insert(cert.fingerprint()) {
+                pool.push(Candidate {
+                    trusted: ctx.store.contains(cert),
+                    cert: cert.clone(),
+                    list_pos: pos,
+                });
+            }
+        }
+        if p.use_intermediate_cache {
+            for cert in ctx.cache {
+                if seen.insert(cert.fingerprint()) {
+                    pool.push(Candidate {
+                        trusted: ctx.store.contains(cert),
+                        cert: cert.clone(),
+                        list_pos: usize::MAX - 1,
+                    });
+                }
+            }
+        }
+
+        let mut search = Search {
+            engine: self,
+            ctx,
+            pool,
+            seen,
+            stats: &mut stats,
+            deepest: vec![leaf.clone()],
+            first_error: None,
+            expansions: 0,
+        };
+        let mut on_path: HashSet<CertificateFingerprint> = HashSet::new();
+        on_path.insert(leaf.fingerprint());
+        let mut path = vec![leaf];
+        let result = search.dfs(&mut path, &mut on_path, 0);
+        let deepest = std::mem::take(&mut search.deepest);
+        let first_error = search.first_error;
+
+        match result {
+            Some(success_path) => BuildOutcome {
+                path: success_path,
+                verdict: Ok(()),
+                stats,
+            },
+            None => BuildOutcome {
+                path: deepest,
+                verdict: Err(first_error.unwrap_or(ClientError::NoIssuerFound)),
+                stats,
+            },
+        }
+    }
+
+    /// Validation options implied by this policy.
+    fn validation_options(&self) -> ValidationOptions {
+        ValidationOptions {
+            enforce_key_usage: true,
+            enforce_basic_constraints: true,
+            enforce_path_len: true,
+            check_signatures: true,
+            check_validity: true,
+        }
+    }
+}
+
+/// DFS state for one `process` call.
+struct Search<'e, 'c, 's> {
+    engine: &'e ChainEngine,
+    ctx: &'e BuildContext<'c>,
+    pool: Vec<Candidate>,
+    seen: HashSet<CertificateFingerprint>,
+    stats: &'s mut BuildStats,
+    deepest: Vec<Certificate>,
+    first_error: Option<ClientError>,
+    expansions: usize,
+}
+
+impl Search<'_, '_, '_> {
+    fn note_error(&mut self, e: ClientError) {
+        if self.first_error.is_none() {
+            self.first_error = Some(e);
+        }
+    }
+
+    fn note_depth(&mut self, path: &[Certificate]) {
+        if path.len() > self.deepest.len() {
+            self.deepest = path.to_vec();
+        }
+    }
+
+    /// Extend `path`; returns the successful full path if one is found.
+    fn dfs(
+        &mut self,
+        path: &mut Vec<Certificate>,
+        on_path: &mut HashSet<CertificateFingerprint>,
+        depth: usize,
+    ) -> Option<Vec<Certificate>> {
+        let p = &self.engine.policy;
+        self.note_depth(path);
+        if self.expansions >= p.max_candidate_expansions {
+            return None;
+        }
+        let current = path.last().expect("path non-empty").clone();
+
+        // Terminal checks: trusted anchor reached?
+        if self.ctx.store.contains(&current) {
+            return self.finish(path, on_path, depth);
+        }
+        if current.is_self_issued() && self.ctx.checker.signature_verifies(&current, &current) {
+            // Untrusted self-signed terminal: dead end.
+            self.note_error(ClientError::UntrustedRoot);
+            return None;
+        }
+
+        // Gather candidates.
+        let mut candidates = self.candidates_for(&current, path.len(), on_path);
+        if candidates.is_empty() && p.aia {
+            if let Some(fetched) = self.try_aia(&current) {
+                candidates = vec![fetched];
+            }
+        }
+        if candidates.is_empty() {
+            self.note_error(ClientError::NoIssuerFound);
+            return None;
+        }
+
+        let try_count = if p.backtracking { candidates.len() } else { 1 };
+        for cand in candidates.into_iter().take(try_count) {
+            self.expansions += 1;
+            self.stats.candidates_considered += 1;
+            // Path length limit: appending must stay within bounds.
+            if let Some(limit) = p.max_path_len {
+                if path.len() + 1 > limit {
+                    self.note_error(ClientError::PathLengthExceeded);
+                    if p.backtracking {
+                        self.stats.backtracks += 1;
+                        continue;
+                    }
+                    return None;
+                }
+            }
+            path.push(cand.cert.clone());
+            on_path.insert(cand.cert.fingerprint());
+            let result = self.dfs(path, on_path, depth + 1);
+            on_path.remove(&cand.cert.fingerprint());
+            path.pop();
+            match result {
+                Some(success) => return Some(success),
+                None => {
+                    if !p.backtracking {
+                        return None;
+                    }
+                    self.stats.backtracks += 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Terminal validation once a trusted anchor tops the path.
+    fn finish(
+        &mut self,
+        path: &mut Vec<Certificate>,
+        _on_path: &mut HashSet<CertificateFingerprint>,
+        _depth: usize,
+    ) -> Option<Vec<Certificate>> {
+        let p = &self.engine.policy;
+        let opts = self.engine.validation_options();
+        match validate_path(path, self.ctx.store, self.ctx.now, self.ctx.checker, &opts) {
+            Ok(()) => Some(path.clone()),
+            Err(e) => {
+                self.note_error(e);
+                if p.backtracking {
+                    // Treat as dead end; caller continues with siblings.
+                    None
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Enumerate and rank candidate issuers for `current`.
+    fn candidates_for(
+        &mut self,
+        current: &Certificate,
+        path_len: usize,
+        on_path: &HashSet<CertificateFingerprint>,
+    ) -> Vec<Candidate> {
+        let p = &self.engine.policy;
+        let mut out: Vec<Candidate> = Vec::new();
+
+        match p.scope {
+            SearchScope::FullList => {
+                for cand in &self.pool {
+                    if on_path.contains(&cand.cert.fingerprint()) {
+                        continue;
+                    }
+                    if IssuanceChecker::identity_match(&cand.cert, current) {
+                        out.push(cand.clone());
+                    }
+                }
+            }
+            SearchScope::ForwardOnly => {
+                // Sequential scan: candidates strictly after the current
+                // certificate's served position, in order; the parent test
+                // is the signature itself (partial validation).
+                let current_pos = self
+                    .pool
+                    .iter()
+                    .find(|c| c.cert == *current)
+                    .map(|c| c.list_pos)
+                    .unwrap_or(0);
+                for cand in &self.pool {
+                    if cand.list_pos <= current_pos
+                        || on_path.contains(&cand.cert.fingerprint())
+                    {
+                        continue;
+                    }
+                    if self.ctx.checker.signature_verifies(&cand.cert, current) {
+                        out.push(cand.clone());
+                    }
+                }
+                out.sort_by_key(|c| c.list_pos);
+            }
+        }
+
+        // Trust store candidates: roots whose subject matches the current
+        // issuer DN or whose SKID matches the current AKID.
+        let mut store_candidates: Vec<Candidate> = Vec::new();
+        for root in self.ctx.store.find_by_subject(current.issuer()) {
+            store_candidates.push(Candidate {
+                cert: root.clone(),
+                list_pos: usize::MAX,
+                trusted: true,
+            });
+        }
+        if let Some(akid) = current.akid_key_id() {
+            for root in self.ctx.store.find_by_skid(akid) {
+                store_candidates.push(Candidate {
+                    cert: root.clone(),
+                    list_pos: usize::MAX,
+                    trusted: true,
+                });
+            }
+        }
+        for sc in store_candidates {
+            if on_path.contains(&sc.cert.fingerprint()) {
+                continue;
+            }
+            if out.iter().any(|c| c.cert == sc.cert) {
+                continue;
+            }
+            // Store candidates must actually relate to the current cert.
+            if IssuanceChecker::identity_match(&sc.cert, current) {
+                out.push(sc);
+            }
+        }
+
+        if p.partial_validation {
+            out.retain(|cand| self.partial_ok(cand, current, path_len));
+        }
+
+        if p.scope == SearchScope::FullList {
+            let now = self.ctx.now;
+            let keys: Vec<(usize, CandidateKey)> = out
+                .iter()
+                .enumerate()
+                .map(|(i, cand)| (i, self.rank(cand, current, path_len, now)))
+                .collect();
+            let mut order: Vec<usize> = (0..out.len()).collect();
+            order.sort_by(|&a, &b| keys[a].1.cmp(&keys[b].1));
+            out = order.into_iter().map(|i| out[i].clone()).collect();
+        }
+        out
+    }
+
+    /// MbedTLS-style in-construction checks.
+    fn partial_ok(&self, cand: &Candidate, current: &Certificate, path_len: usize) -> bool {
+        if !self.ctx.checker.signature_verifies(&cand.cert, current) {
+            return false;
+        }
+        if !cand.cert.validity().contains(self.ctx.now) {
+            return false;
+        }
+        if let Some(ku) = cand.cert.key_usage() {
+            if !ku.key_cert_sign {
+                return false;
+            }
+        }
+        match cand.cert.basic_constraints() {
+            Some(bc) => {
+                if !bc.ca {
+                    return false;
+                }
+                if let Some(max) = bc.path_len {
+                    // Intermediates below the candidate (excluding leaf).
+                    if (path_len as i64 - 1) > max as i64 {
+                        return false;
+                    }
+                }
+            }
+            None => return false,
+        }
+        true
+    }
+
+    fn rank(
+        &self,
+        cand: &Candidate,
+        current: &Certificate,
+        path_len: usize,
+        now: Time,
+    ) -> CandidateKey {
+        let p = &self.engine.policy;
+        let trusted_rank = if p.trusted_first && cand.trusted { 0 } else { 1 };
+
+        let kid_state = match (current.akid_key_id(), cand.cert.skid()) {
+            (Some(akid), Some(skid)) => {
+                if akid == skid {
+                    0 // match
+                } else {
+                    2 // mismatch
+                }
+            }
+            (Some(_), None) => 1, // candidate lacks SKID
+            (None, _) => 0,       // nothing to compare
+        };
+        let kid_rank = match p.kid_priority {
+            KidPriority::NoPreference => 0,
+            KidPriority::MatchOrAbsentFirst => {
+                if kid_state == 2 {
+                    1
+                } else {
+                    0
+                }
+            }
+            KidPriority::MatchFirst => kid_state,
+        };
+
+        let ku_rank = if p.key_usage_priority {
+            match cand.cert.key_usage() {
+                Some(ku) if !ku.key_cert_sign => 1,
+                _ => 0,
+            }
+        } else {
+            0
+        };
+
+        let bc_rank = if p.basic_constraints_priority {
+            match cand.cert.basic_constraints() {
+                Some(bc) => {
+                    let violated = !bc.ca
+                        || bc
+                            .path_len
+                            .is_some_and(|max| (path_len as i64 - 1) > max as i64);
+                    if violated {
+                        1
+                    } else {
+                        0
+                    }
+                }
+                None => 1,
+            }
+        } else {
+            0
+        };
+
+        let validity = cand.cert.validity();
+        let valid_now = validity.contains(now);
+        let validity_key: (i64, i64, i64) = match p.validity_priority {
+            ValidityPriority::NoPreference => (0, 0, 0),
+            ValidityPriority::FirstValid => (if valid_now { 0 } else { 1 }, 0, 0),
+            ValidityPriority::MostRecent => {
+                if valid_now {
+                    (
+                        0,
+                        -validity.not_before.unix(),
+                        -validity.duration_seconds(),
+                    )
+                } else {
+                    (1, 0, 0)
+                }
+            }
+        };
+
+        CandidateKey {
+            trusted_rank,
+            kid_rank,
+            ku_rank,
+            bc_rank,
+            validity_key,
+            list_pos: cand.list_pos,
+        }
+    }
+
+    /// Fetch the current certificate's AIA issuer (once per URI per build;
+    /// fetched certificates join the pool).
+    fn try_aia(&mut self, current: &Certificate) -> Option<Candidate> {
+        let repo = self.ctx.aia?;
+        let uri = current.aia_ca_issuers_uri()?;
+        let fetched = repo.fetch(uri)?;
+        self.stats.aia_fetches += 1;
+        if !IssuanceChecker::identity_match(&fetched, current)
+            && !self.ctx.checker.signature_verifies(&fetched, current)
+        {
+            // Wrong certificate served: useless as an issuer.
+            return None;
+        }
+        let candidate = Candidate {
+            trusted: self.ctx.store.contains(&fetched),
+            cert: fetched,
+            list_pos: usize::MAX,
+        };
+        if self.seen.insert(candidate.cert.fingerprint()) {
+            self.pool.push(candidate.clone());
+        }
+        Some(candidate)
+    }
+}
+
+/// Lexicographic candidate ordering key.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct CandidateKey {
+    trusted_rank: u8,
+    kid_rank: u8,
+    ku_rank: u8,
+    bc_rank: u8,
+    validity_key: (i64, i64, i64),
+    list_pos: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_crypto::{Group, KeyPair};
+    use ccc_x509::{CertificateBuilder, DistinguishedName};
+
+    struct Pki {
+        root: Certificate,
+        int: Certificate,
+        leaf: Certificate,
+        store: RootStore,
+    }
+
+    fn pki() -> Pki {
+        let g = Group::simulation_256();
+        let root_kp = KeyPair::from_seed(g, b"eng-root");
+        let int_kp = KeyPair::from_seed(g, b"eng-int");
+        let leaf_kp = KeyPair::from_seed(g, b"eng-leaf");
+        let root_dn = DistinguishedName::cn("Engine Root");
+        let int_dn = DistinguishedName::cn("Engine Int");
+        let root = CertificateBuilder::ca_profile(root_dn.clone()).self_signed(&root_kp);
+        let int = CertificateBuilder::ca_profile(int_dn.clone()).issued_by(
+            &int_kp.public,
+            root_dn,
+            &root_kp,
+        );
+        let leaf = CertificateBuilder::leaf_profile("engine.sim").issued_by(
+            &leaf_kp.public,
+            int_dn,
+            &int_kp,
+        );
+        let store = RootStore::new("eng", vec![root.clone()]);
+        Pki { root, int, leaf, store }
+    }
+
+    fn ctx<'a>(pki: &'a Pki, checker: &'a IssuanceChecker) -> BuildContext<'a> {
+        BuildContext {
+            store: &pki.store,
+            aia: None,
+            cache: &[],
+            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            checker,
+        }
+    }
+
+    #[test]
+    fn empty_list_is_reported() {
+        let p = pki();
+        let checker = IssuanceChecker::new();
+        let engine = ChainEngine::new(BuilderPolicy::full_capability("t"));
+        let outcome = engine.process(&[], &ctx(&p, &checker));
+        assert_eq!(outcome.verdict, Err(ClientError::EmptyList));
+        assert!(outcome.path.is_empty());
+    }
+
+    #[test]
+    fn trusted_root_appended_from_store() {
+        let p = pki();
+        let checker = IssuanceChecker::new();
+        let engine = ChainEngine::new(BuilderPolicy::full_capability("t"));
+        // Root omitted from the served list; the store completes it.
+        let served = vec![p.leaf.clone(), p.int.clone()];
+        let outcome = engine.process(&served, &ctx(&p, &checker));
+        assert!(outcome.accepted());
+        assert_eq!(outcome.path.len(), 3);
+        assert_eq!(outcome.path[2], p.root);
+    }
+
+    #[test]
+    fn duplicates_deduplicated_in_pool() {
+        let p = pki();
+        let checker = IssuanceChecker::new();
+        let engine = ChainEngine::new(BuilderPolicy::full_capability("t"));
+        let served = vec![
+            p.leaf.clone(),
+            p.int.clone(),
+            p.int.clone(),
+            p.int.clone(),
+        ];
+        let outcome = engine.process(&served, &ctx(&p, &checker));
+        assert!(outcome.accepted());
+        // The constructed path never repeats a certificate.
+        assert_eq!(outcome.path.len(), 3);
+    }
+
+    #[test]
+    fn expansion_cap_terminates_pathological_search() {
+        let p = pki();
+        let checker = IssuanceChecker::new();
+        let mut policy = BuilderPolicy::full_capability("t");
+        policy.max_candidate_expansions = 1;
+        let engine = ChainEngine::new(policy);
+        let served = vec![p.leaf.clone(), p.int.clone()];
+        let outcome = engine.process(&served, &ctx(&p, &checker));
+        // One expansion is not enough to finish leaf -> int -> root.
+        assert!(!outcome.accepted());
+    }
+
+    #[test]
+    fn stats_track_candidates() {
+        let p = pki();
+        let checker = IssuanceChecker::new();
+        let engine = ChainEngine::new(BuilderPolicy::full_capability("t"));
+        let served = vec![p.leaf.clone(), p.int.clone(), p.root.clone()];
+        let outcome = engine.process(&served, &ctx(&p, &checker));
+        assert!(outcome.accepted());
+        assert!(outcome.stats.candidates_considered >= 2);
+        assert_eq!(outcome.stats.aia_fetches, 0);
+    }
+
+    #[test]
+    fn deepest_path_reported_on_failure() {
+        let p = pki();
+        let checker = IssuanceChecker::new();
+        let engine = ChainEngine::new(BuilderPolicy::full_capability("t"));
+        let empty_store = RootStore::new("none", vec![]);
+        let served = vec![p.leaf.clone(), p.int.clone()];
+        let ctx = BuildContext {
+            store: &empty_store,
+            aia: None,
+            cache: &[],
+            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            checker: &checker,
+        };
+        let outcome = engine.process(&served, &ctx);
+        assert!(!outcome.accepted());
+        // The deepest attempt (leaf + int) is surfaced for diagnostics.
+        assert_eq!(outcome.path.len(), 2);
+    }
+
+    #[test]
+    fn cache_only_used_when_policy_allows() {
+        let p = pki();
+        let checker = IssuanceChecker::new();
+        let served = vec![p.leaf.clone()]; // intermediate missing
+        let cache = vec![p.int.clone()];
+        let base_ctx = BuildContext {
+            store: &p.store,
+            aia: None,
+            cache: &cache,
+            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            checker: &checker,
+        };
+        let mut with_cache = BuilderPolicy::full_capability("cache");
+        with_cache.aia = false;
+        with_cache.use_intermediate_cache = true;
+        let outcome = ChainEngine::new(with_cache).process(&served, &base_ctx);
+        assert!(outcome.accepted(), "{:?}", outcome.verdict);
+
+        let mut without_cache = BuilderPolicy::full_capability("nocache");
+        without_cache.aia = false;
+        without_cache.use_intermediate_cache = false;
+        let outcome = ChainEngine::new(without_cache).process(&served, &base_ctx);
+        assert_eq!(outcome.verdict, Err(ClientError::NoIssuerFound));
+    }
+}

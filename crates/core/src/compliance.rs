@@ -1,0 +1,161 @@
+//! Aggregate server-side compliance verdict (paper §3.1's three rules).
+
+use crate::completeness::{Completeness, CompletenessAnalysis, CompletenessAnalyzer};
+use crate::leaf::{classify_leaf_placement, LeafPlacement};
+use crate::order::{analyze_order_with_graph, OrderAnalysis};
+use crate::topology::{IssuanceChecker, TopologyGraph};
+use ccc_x509::Certificate;
+
+/// The individual non-compliance findings (a chain may exhibit several).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum NonCompliance {
+    /// The leaf is not correctly placed first (Table 3 lower rows).
+    LeafMisplaced,
+    /// Bit-identical duplicate certificates (Table 5).
+    DuplicateCertificates,
+    /// Certificates unrelated to the leaf's chain (Table 5).
+    IrrelevantCertificates,
+    /// More than one candidate path (Table 5).
+    MultiplePaths,
+    /// An issuer precedes its subject (Table 5).
+    ReversedSequence,
+    /// Missing intermediate certificates (Table 7).
+    IncompleteChain,
+}
+
+impl NonCompliance {
+    /// Paper row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NonCompliance::LeafMisplaced => "Leaf Misplaced",
+            NonCompliance::DuplicateCertificates => "Duplicate Certificates",
+            NonCompliance::IrrelevantCertificates => "Irrelevant Certificates",
+            NonCompliance::MultiplePaths => "Multiple Paths",
+            NonCompliance::ReversedSequence => "Reversed Sequences",
+            NonCompliance::IncompleteChain => "Incomplete Chain",
+        }
+    }
+}
+
+/// Complete compliance report for one (domain, served list) observation.
+#[derive(Clone, Debug)]
+pub struct ComplianceReport {
+    /// Table 3 class.
+    pub leaf_placement: LeafPlacement,
+    /// Table 5 analysis.
+    pub order: OrderAnalysis,
+    /// Table 7 analysis.
+    pub completeness: CompletenessAnalysis,
+    /// All findings.
+    pub findings: Vec<NonCompliance>,
+}
+
+impl ComplianceReport {
+    /// True when the deployment satisfies all three structural rules.
+    pub fn is_compliant(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Run the full server-side analysis for one observation.
+pub fn analyze_compliance(
+    domain: &str,
+    served: &[Certificate],
+    checker: &IssuanceChecker,
+    completeness_analyzer: &CompletenessAnalyzer<'_>,
+) -> ComplianceReport {
+    let leaf_placement = classify_leaf_placement(domain, served);
+    let graph = TopologyGraph::build(served, checker);
+    let order = analyze_order_with_graph(&graph);
+    let completeness = completeness_analyzer.analyze_graph(&graph);
+
+    let mut findings = Vec::new();
+    // Only *incorrect placement* violates rule 1; the "Other" class
+    // (test/appliance certificates with no host-shaped identity) is
+    // reviewed but not counted by the paper.
+    if matches!(
+        leaf_placement,
+        LeafPlacement::IncorrectlyPlacedMatched | LeafPlacement::IncorrectlyPlacedMismatched
+    ) {
+        findings.push(NonCompliance::LeafMisplaced);
+    }
+    if order.has_duplicates() {
+        findings.push(NonCompliance::DuplicateCertificates);
+    }
+    if order.has_irrelevant() {
+        findings.push(NonCompliance::IrrelevantCertificates);
+    }
+    if order.has_multiple_paths() {
+        findings.push(NonCompliance::MultiplePaths);
+    }
+    if order.has_reversed() {
+        findings.push(NonCompliance::ReversedSequence);
+    }
+    if completeness.completeness == Completeness::Incomplete {
+        findings.push(NonCompliance::IncompleteChain);
+    }
+    ComplianceReport {
+        leaf_placement,
+        order,
+        completeness,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_netsim::AiaRepository;
+    use ccc_rootstore::{CaUniverse, RootPrograms};
+
+    #[test]
+    fn compliant_deployment_has_no_findings() {
+        let universe = CaUniverse::default_with_seed(31);
+        let programs = RootPrograms::from_universe(&universe);
+        let aia = AiaRepository::new(universe.aia_publications());
+        let checker = IssuanceChecker::new();
+        let analyzer = CompletenessAnalyzer::new(&checker, programs.unified(), Some(&aia));
+
+        let int = &universe.roots[0].intermediates[0];
+        let kp = ccc_crypto::KeyPair::from_seed(ccc_crypto::Group::simulation_256(), b"cmp-leaf");
+        let leaf = ccc_x509::CertificateBuilder::leaf_profile("ok.sim")
+            .aia_ca_issuers(int.aia_uri.clone())
+            .issued_by(&kp.public, int.cert.subject().clone(), &int.keypair);
+        let served = vec![leaf, int.cert.clone()];
+
+        let report = analyze_compliance("ok.sim", &served, &checker, &analyzer);
+        assert!(report.is_compliant(), "{:?}", report.findings);
+        assert_eq!(report.leaf_placement, LeafPlacement::CorrectlyPlacedMatched);
+    }
+
+    #[test]
+    fn reversed_and_incomplete_detected_together() {
+        let universe = CaUniverse::default_with_seed(31);
+        let programs = RootPrograms::from_universe(&universe);
+        let aia = AiaRepository::new(universe.aia_publications());
+        let checker = IssuanceChecker::new();
+        let analyzer = CompletenessAnalyzer::new(&checker, programs.unified(), Some(&aia));
+
+        let int = &universe.roots[4].intermediates[0]; // GoGetSSL-style
+        let root = &universe.roots[4];
+        let kp = ccc_crypto::KeyPair::from_seed(ccc_crypto::Group::simulation_256(), b"cmp-rev");
+        let leaf = ccc_x509::CertificateBuilder::leaf_profile("rev.sim")
+            .aia_ca_issuers(int.aia_uri.clone())
+            .issued_by(&kp.public, int.cert.subject().clone(), &int.keypair);
+        // leaf, root, intermediate: reversed tail.
+        let served = vec![leaf, root.cert.clone(), int.cert.clone()];
+        let report = analyze_compliance("rev.sim", &served, &checker, &analyzer);
+        assert!(report.findings.contains(&NonCompliance::ReversedSequence));
+        assert!(!report.findings.contains(&NonCompliance::IncompleteChain));
+        assert!(!report.is_compliant());
+
+        // Lone leaf: incomplete.
+        let int2 = &universe.roots[1].intermediates[0];
+        let kp2 = ccc_crypto::KeyPair::from_seed(ccc_crypto::Group::simulation_256(), b"cmp-inc");
+        let lone = ccc_x509::CertificateBuilder::leaf_profile("inc.sim")
+            .aia_ca_issuers(int2.aia_uri.clone())
+            .issued_by(&kp2.public, int2.cert.subject().clone(), &int2.keypair);
+        let report = analyze_compliance("inc.sim", &[lone], &checker, &analyzer);
+        assert!(report.findings.contains(&NonCompliance::IncompleteChain));
+    }
+}

@@ -1,0 +1,153 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The bench binaries print tables shaped like the paper's; this module
+//! keeps the formatting in one place (column alignment, percentage
+//! rendering) so every table looks consistent.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> TextTable {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are free-form strings).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of string slices.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "{cell:<w$}");
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format `count` with a percentage of `total`: `1,234 (5.6%)`.
+pub fn count_pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        return format!("{} (n/a)", group_thousands(count));
+    }
+    format!(
+        "{} ({:.1}%)",
+        group_thousands(count),
+        100.0 * count as f64 / total as f64
+    )
+}
+
+/// Thousands separators: 1234567 → "1,234,567".
+pub fn group_thousands(n: usize) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Check mark / cross rendering for capability tables.
+pub fn check(b: bool) -> &'static str {
+    if b {
+        "Y"
+    } else {
+        "x"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1000), "1,000");
+        assert_eq!(group_thousands(906336), "906,336");
+        assert_eq!(group_thousands(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn count_pct_format() {
+        assert_eq!(count_pct(838354, 906336), "838,354 (92.5%)");
+        assert_eq!(count_pct(5, 0), "5 (n/a)");
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let mut t = TextTable::new("Demo", &["Type", "Count"]);
+        t.row(&["Duplicate".to_string(), "5,974".to_string()]);
+        t.row(&["Reversed".to_string(), "8,566".to_string()]);
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        // Header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("Type"));
+        assert!(lines[3].starts_with("Duplicate"));
+    }
+
+    #[test]
+    fn check_marks() {
+        assert_eq!(check(true), "Y");
+        assert_eq!(check(false), "x");
+    }
+}

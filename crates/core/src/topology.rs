@@ -1,0 +1,458 @@
+//! Issuance topology graph over a served certificate list (paper §3.1,
+//! Figure 2).
+//!
+//! Nodes are the certificates at their served positions; duplicates keep
+//! only the first occurrence (relabelled `Cp[i]`); directed edges run from
+//! issuer to subject. All paths are enumerated starting from the leaf
+//! (`C0`) and walking issuer-ward.
+
+use ccc_x509::{Certificate, CertificateFingerprint};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Memoizing checker for the paper's issuance relationship.
+///
+/// Certificate A issues certificate B when:
+/// 1. A's public key verifies B's signature, **and**
+/// 2. A's subject matches B's issuer, **or** A's SKID matches B's AKID
+///    (either identity criterion suffices when the other's fields are
+///    absent — the paper's flexibility rule).
+///
+/// Signature verification is the expensive step, so results are memoized
+/// by certificate fingerprint pair; corpora share certificates heavily.
+#[derive(Debug, Default)]
+pub struct IssuanceChecker {
+    sig_cache: Mutex<HashMap<(CertificateFingerprint, CertificateFingerprint), bool>>,
+}
+
+impl IssuanceChecker {
+    /// Fresh checker with an empty cache.
+    pub fn new() -> IssuanceChecker {
+        IssuanceChecker::default()
+    }
+
+    /// Identity-level match: subject/issuer DN equality, or SKID/AKID
+    /// equality when both sides carry the fields.
+    pub fn identity_match(issuer: &Certificate, subject: &Certificate) -> bool {
+        let dn_match = issuer.subject() == subject.issuer();
+        let kid_match = match (issuer.skid(), subject.akid_key_id()) {
+            (Some(skid), Some(akid)) => skid == akid,
+            _ => false,
+        };
+        dn_match || kid_match
+    }
+
+    /// Cached signature check: does `issuer`'s key verify `subject`?
+    pub fn signature_verifies(&self, issuer: &Certificate, subject: &Certificate) -> bool {
+        let key = (issuer.fingerprint(), subject.fingerprint());
+        if let Some(&hit) = self.sig_cache.lock().unwrap().get(&key) {
+            return hit;
+        }
+        let result = subject.verify_signature_with(issuer.public_key());
+        self.sig_cache.lock().unwrap().insert(key, result);
+        result
+    }
+
+    /// The full issuance relationship (criteria 1 ∧ (2 ∨ 3)).
+    pub fn issues(&self, issuer: &Certificate, subject: &Certificate) -> bool {
+        Self::identity_match(issuer, subject) && self.signature_verifies(issuer, subject)
+    }
+
+    /// Number of memoized signature checks.
+    pub fn cache_size(&self) -> usize {
+        self.sig_cache.lock().unwrap().len()
+    }
+}
+
+/// A node in the topology graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Served position of the first occurrence of this certificate.
+    pub position: usize,
+    /// The certificate.
+    pub cert: Certificate,
+    /// Served positions of later bit-identical occurrences.
+    pub duplicate_positions: Vec<usize>,
+}
+
+impl Node {
+    /// Paper-style label: `C3`, or `C3[2]` for the second duplicate.
+    pub fn label(&self) -> String {
+        format!("C{}", self.position)
+    }
+}
+
+/// The issuance topology of a served certificate list.
+#[derive(Clone, Debug)]
+pub struct TopologyGraph {
+    /// Unique certificates in order of first appearance.
+    pub nodes: Vec<Node>,
+    /// `edges[i]` lists node indices that node `i` ISSUES (children).
+    pub issued_by_me: Vec<Vec<usize>>,
+    /// `issuers_of[i]` lists node indices that issue node `i` (parents).
+    pub issuers_of: Vec<Vec<usize>>,
+    /// Total served length including duplicates.
+    pub served_len: usize,
+}
+
+impl TopologyGraph {
+    /// Build the graph for a served list. Self-edges (self-signed
+    /// certificates issuing themselves) are not recorded as edges.
+    pub fn build(served: &[Certificate], checker: &IssuanceChecker) -> TopologyGraph {
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut index_of: HashMap<CertificateFingerprint, usize> = HashMap::new();
+        for (pos, cert) in served.iter().enumerate() {
+            match index_of.get(&cert.fingerprint()) {
+                Some(&idx) => nodes[idx].duplicate_positions.push(pos),
+                None => {
+                    index_of.insert(cert.fingerprint(), nodes.len());
+                    nodes.push(Node {
+                        position: pos,
+                        cert: cert.clone(),
+                        duplicate_positions: Vec::new(),
+                    });
+                }
+            }
+        }
+        let n = nodes.len();
+        let mut issued_by_me = vec![Vec::new(); n];
+        let mut issuers_of = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                if checker.issues(&nodes[i].cert, &nodes[j].cert) {
+                    issued_by_me[i].push(j);
+                    issuers_of[j].push(i);
+                }
+            }
+        }
+        TopologyGraph {
+            nodes,
+            issued_by_me,
+            issuers_of,
+            served_len: served.len(),
+        }
+    }
+
+    /// Number of unique certificates.
+    pub fn unique_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the served list contained bit-identical duplicates.
+    pub fn has_duplicates(&self) -> bool {
+        self.nodes.iter().any(|n| !n.duplicate_positions.is_empty())
+    }
+
+    /// Total count of duplicate occurrences (served length minus unique).
+    pub fn duplicate_count(&self) -> usize {
+        self.served_len - self.unique_len()
+    }
+
+    /// Node indices reachable from the leaf (node 0) by repeatedly moving
+    /// to issuers — i.e. every certificate that participates in some
+    /// issuer chain of the leaf, plus the leaf itself.
+    pub fn relevant_set(&self) -> Vec<bool> {
+        let mut relevant = vec![false; self.nodes.len()];
+        if self.nodes.is_empty() {
+            return relevant;
+        }
+        let mut stack = vec![0usize];
+        relevant[0] = true;
+        while let Some(i) = stack.pop() {
+            for &parent in &self.issuers_of[i] {
+                if !relevant[parent] {
+                    relevant[parent] = true;
+                    stack.push(parent);
+                }
+            }
+        }
+        relevant
+    }
+
+    /// Node indices of certificates unconnected to the leaf's issuance
+    /// ancestry (the paper's "irrelevant certificates").
+    pub fn irrelevant_nodes(&self) -> Vec<usize> {
+        self.relevant_set()
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| !r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Enumerate all simple issuer paths from the leaf: each path is a list
+    /// of node indices starting at node 0 and extending issuer-ward until
+    /// no further (non-repeating) issuer exists.
+    ///
+    /// Cross-signed loops are cut by the simple-path constraint. The number
+    /// of paths is capped at `max_paths` as a safety valve for adversarial
+    /// topologies (the paper's real-world maximum was 3).
+    pub fn leaf_paths(&self, max_paths: usize) -> Vec<Vec<usize>> {
+        let mut paths = Vec::new();
+        if self.nodes.is_empty() {
+            return paths;
+        }
+        let mut current = vec![0usize];
+        let mut on_path = vec![false; self.nodes.len()];
+        on_path[0] = true;
+        self.extend_path(&mut current, &mut on_path, &mut paths, max_paths);
+        paths
+    }
+
+    fn extend_path(
+        &self,
+        current: &mut Vec<usize>,
+        on_path: &mut Vec<bool>,
+        paths: &mut Vec<Vec<usize>>,
+        max_paths: usize,
+    ) {
+        if paths.len() >= max_paths {
+            return;
+        }
+        let tip = *current.last().expect("path never empty");
+        let next: Vec<usize> = self.issuers_of[tip]
+            .iter()
+            .copied()
+            .filter(|&p| !on_path[p])
+            .collect();
+        if next.is_empty() {
+            paths.push(current.clone());
+            return;
+        }
+        for parent in next {
+            current.push(parent);
+            on_path[parent] = true;
+            self.extend_path(current, on_path, paths, max_paths);
+            on_path[parent] = false;
+            current.pop();
+        }
+    }
+
+    /// True when a path (as node indices) is in reversed served order at
+    /// any link: an issuer certificate appears *before* its subject.
+    pub fn path_is_reversed(&self, path: &[usize]) -> bool {
+        path.windows(2).any(|w| {
+            let subject_pos = self.nodes[w[0]].position;
+            let issuer_pos = self.nodes[w[1]].position;
+            issuer_pos < subject_pos
+        })
+    }
+
+    /// Render the graph in a compact text form for reports:
+    /// `C0 <- C1 <- C2; irrelevant: C3` style.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let paths = self.leaf_paths(16);
+        for (i, path) in paths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("; ");
+            }
+            let labels: Vec<String> = path.iter().map(|&n| self.nodes[n].label()).collect();
+            out.push_str(&labels.join(" <- "));
+        }
+        let irrelevant = self.irrelevant_nodes();
+        if !irrelevant.is_empty() {
+            let labels: Vec<String> = irrelevant.iter().map(|&n| self.nodes[n].label()).collect();
+            out.push_str(&format!(" | irrelevant: {}", labels.join(", ")));
+        }
+        if self.has_duplicates() {
+            out.push_str(&format!(" | duplicates: {}", self.duplicate_count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_crypto::{Group, KeyPair};
+    use ccc_x509::{CertificateBuilder, DistinguishedName};
+
+    struct Fixture {
+        leaf: Certificate,
+        int1: Certificate,
+        int2: Certificate,
+        root: Certificate,
+        unrelated: Certificate,
+        cross: Certificate,
+    }
+
+    fn fixture() -> Fixture {
+        let g = Group::simulation_256();
+        let root_kp = KeyPair::from_seed(g, b"topo-root");
+        let int1_kp = KeyPair::from_seed(g, b"topo-int1");
+        let int2_kp = KeyPair::from_seed(g, b"topo-int2");
+        let leaf_kp = KeyPair::from_seed(g, b"topo-leaf");
+        let other_kp = KeyPair::from_seed(g, b"topo-other");
+        let cross_root_kp = KeyPair::from_seed(g, b"topo-cross-root");
+
+        let root_dn = DistinguishedName::cn("Topo Root");
+        let int2_dn = DistinguishedName::cn("Topo Int 2");
+        let int1_dn = DistinguishedName::cn("Topo Int 1");
+        let cross_root_dn = DistinguishedName::cn("Topo Cross Root");
+
+        let root = CertificateBuilder::ca_profile(root_dn.clone()).self_signed(&root_kp);
+        let int2 = CertificateBuilder::ca_profile(int2_dn.clone()).issued_by(
+            &int2_kp.public,
+            root_dn.clone(),
+            &root_kp,
+        );
+        let int1 = CertificateBuilder::ca_profile(int1_dn.clone()).issued_by(
+            &int1_kp.public,
+            int2_dn.clone(),
+            &int2_kp,
+        );
+        let leaf = CertificateBuilder::leaf_profile("topo.sim").issued_by(
+            &leaf_kp.public,
+            int1_dn.clone(),
+            &int1_kp,
+        );
+        let unrelated = CertificateBuilder::ca_profile(DistinguishedName::cn("Unrelated"))
+            .self_signed(&other_kp);
+        // Cross-signed variant of int2 under a different root.
+        let cross_root =
+            CertificateBuilder::ca_profile(cross_root_dn.clone()).self_signed(&cross_root_kp);
+        let cross = CertificateBuilder::ca_profile(int2_dn.clone()).issued_by(
+            &int2_kp.public,
+            cross_root_dn,
+            &cross_root_kp,
+        );
+        let _ = cross_root;
+        Fixture {
+            leaf,
+            int1,
+            int2,
+            root,
+            unrelated,
+            cross,
+        }
+    }
+
+    #[test]
+    fn issuance_checker_criteria() {
+        let f = fixture();
+        let checker = IssuanceChecker::new();
+        assert!(checker.issues(&f.int1, &f.leaf));
+        assert!(checker.issues(&f.int2, &f.int1));
+        assert!(checker.issues(&f.root, &f.int2));
+        assert!(!checker.issues(&f.root, &f.leaf));
+        assert!(!checker.issues(&f.leaf, &f.root));
+        assert!(!checker.issues(&f.unrelated, &f.leaf));
+        // Memoization kicks in.
+        assert!(checker.cache_size() > 0);
+    }
+
+    #[test]
+    fn compliant_chain_single_increasing_path() {
+        let f = fixture();
+        let checker = IssuanceChecker::new();
+        let served = vec![f.leaf.clone(), f.int1.clone(), f.int2.clone(), f.root.clone()];
+        let g = TopologyGraph::build(&served, &checker);
+        assert_eq!(g.unique_len(), 4);
+        assert!(!g.has_duplicates());
+        assert!(g.irrelevant_nodes().is_empty());
+        let paths = g.leaf_paths(16);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0], vec![0, 1, 2, 3]);
+        assert!(!g.path_is_reversed(&paths[0]));
+    }
+
+    #[test]
+    fn reversed_chain_detected() {
+        let f = fixture();
+        let checker = IssuanceChecker::new();
+        // Reversed tail: leaf, root, int2, int1.
+        let served = vec![f.leaf.clone(), f.root.clone(), f.int2.clone(), f.int1.clone()];
+        let g = TopologyGraph::build(&served, &checker);
+        let paths = g.leaf_paths(16);
+        assert_eq!(paths.len(), 1);
+        assert!(g.path_is_reversed(&paths[0]));
+    }
+
+    #[test]
+    fn duplicates_relabelled() {
+        let f = fixture();
+        let checker = IssuanceChecker::new();
+        let served = vec![
+            f.leaf.clone(),
+            f.int1.clone(),
+            f.int1.clone(),
+            f.int2.clone(),
+        ];
+        let g = TopologyGraph::build(&served, &checker);
+        assert_eq!(g.unique_len(), 3);
+        assert!(g.has_duplicates());
+        assert_eq!(g.duplicate_count(), 1);
+        assert_eq!(g.nodes[1].duplicate_positions, vec![2]);
+    }
+
+    #[test]
+    fn irrelevant_cert_detected() {
+        let f = fixture();
+        let checker = IssuanceChecker::new();
+        let served = vec![f.leaf.clone(), f.unrelated.clone(), f.int1.clone(), f.int2.clone()];
+        let g = TopologyGraph::build(&served, &checker);
+        let irrelevant = g.irrelevant_nodes();
+        assert_eq!(irrelevant.len(), 1);
+        assert_eq!(g.nodes[irrelevant[0]].cert, f.unrelated);
+    }
+
+    #[test]
+    fn cross_sign_creates_multiple_paths() {
+        let f = fixture();
+        let checker = IssuanceChecker::new();
+        // leaf <- int1 <- {int2, cross}: two paths (root completes one).
+        let served = vec![
+            f.leaf.clone(),
+            f.int1.clone(),
+            f.cross.clone(),
+            f.int2.clone(),
+            f.root.clone(),
+        ];
+        let g = TopologyGraph::build(&served, &checker);
+        let paths = g.leaf_paths(16);
+        assert_eq!(paths.len(), 2);
+        // The path through the cross cert: cross appears before int2, so
+        // one of them is fine and the ordering question is about links.
+        let reversed: Vec<bool> = paths.iter().map(|p| g.path_is_reversed(p)).collect();
+        // leaf(0) <- int1(1) <- cross(2) is increasing; leaf <- int1 <-
+        // int2(3) <- root(4) is increasing too.
+        assert!(reversed.iter().any(|&r| !r));
+    }
+
+    #[test]
+    fn empty_and_single_lists() {
+        let checker = IssuanceChecker::new();
+        let g = TopologyGraph::build(&[], &checker);
+        assert_eq!(g.unique_len(), 0);
+        assert!(g.leaf_paths(16).is_empty());
+
+        let f = fixture();
+        let g = TopologyGraph::build(&[f.leaf.clone()], &checker);
+        assert_eq!(g.leaf_paths(16), vec![vec![0]]);
+        assert!(g.irrelevant_nodes().is_empty());
+    }
+
+    #[test]
+    fn self_signed_has_no_self_edge() {
+        let f = fixture();
+        let checker = IssuanceChecker::new();
+        let g = TopologyGraph::build(&[f.root.clone()], &checker);
+        assert!(g.issuers_of[0].is_empty());
+        assert_eq!(g.leaf_paths(16), vec![vec![0]]);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let f = fixture();
+        let checker = IssuanceChecker::new();
+        let served = vec![f.leaf.clone(), f.int1.clone(), f.unrelated.clone()];
+        let g = TopologyGraph::build(&served, &checker);
+        let desc = g.describe();
+        assert!(desc.contains("C0 <- C1"), "{desc}");
+        assert!(desc.contains("irrelevant: C2"), "{desc}");
+    }
+}

@@ -1,0 +1,395 @@
+//! CA / reseller issuance pipelines (the paper's Table 6).
+//!
+//! Each profile models *which files* a certificate subscriber receives and
+//! in what order the bundle certificates appear. The paper traced reversed
+//! server chains (Table 5/11) to resellers that deliver the ca-bundle with
+//! intermediates and root in reverse issuance order; administrators who
+//! naively concatenate the files then deploy reversed chains.
+
+use ccc_asn1::Time;
+use ccc_crypto::{Drbg, Group, KeyPair};
+use ccc_rootstore::CaUniverse;
+use ccc_x509::{Certificate, CertificateBuilder};
+
+/// How much installation guidance the CA provides.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstallGuide {
+    /// No guidance.
+    None,
+    /// Guides for Apache and IIS only (the Trustico pattern).
+    ApacheIisOnly,
+    /// Guides for all common servers.
+    AllServers,
+}
+
+/// A CA or reseller issuance profile (Table 6 semantics plus the market
+/// weight used when sampling the corpus, calibrated to Table 11 totals).
+#[derive(Clone, Debug)]
+pub struct CaProfile {
+    /// Display name (paper's Table 11 row).
+    pub name: &'static str,
+    /// Index of this CA's root in the default universe population.
+    pub universe_root: usize,
+    /// Supports fully automated issuance+deployment (ACME).
+    pub automated: bool,
+    /// Delivers a fullchain.pem (leaf + intermediates, compliant order).
+    pub provides_fullchain: bool,
+    /// Delivers a ca-bundle.pem (intermediates, maybe root).
+    pub provides_ca_bundle: bool,
+    /// The ca-bundle includes the root certificate.
+    pub root_in_bundle: bool,
+    /// The ca-bundle lists certificates in REVERSE issuance order.
+    pub bundle_reversed: bool,
+    /// Installation guidance offered.
+    pub install_guide: InstallGuide,
+    /// Relative market share among Tranco-like domains (Table 11 totals,
+    /// normalized by the corpus sampler).
+    pub market_weight: f64,
+}
+
+impl CaProfile {
+    /// The eight profiles of the paper's Table 11, with Table 6 file
+    /// behaviours. Universe root indices follow
+    /// [`ccc_rootstore::UniverseSpec::default_population`] order.
+    pub fn all() -> Vec<CaProfile> {
+        vec![
+            CaProfile {
+                name: "Let's Encrypt",
+                universe_root: 0,
+                automated: true,
+                provides_fullchain: true,
+                provides_ca_bundle: false,
+                root_in_bundle: false,
+                bundle_reversed: false,
+                install_guide: InstallGuide::AllServers,
+                market_weight: 400_737.0,
+            },
+            CaProfile {
+                name: "Digicert",
+                universe_root: 1,
+                automated: false,
+                provides_fullchain: false,
+                provides_ca_bundle: true,
+                root_in_bundle: false,
+                bundle_reversed: false,
+                install_guide: InstallGuide::AllServers,
+                market_weight: 60_894.0,
+            },
+            CaProfile {
+                name: "Sectigo Limited",
+                universe_root: 2,
+                automated: false,
+                provides_fullchain: false,
+                provides_ca_bundle: true,
+                root_in_bundle: false,
+                bundle_reversed: false,
+                install_guide: InstallGuide::AllServers,
+                market_weight: 48_042.0,
+            },
+            CaProfile {
+                name: "ZeroSSL",
+                universe_root: 3,
+                automated: true,
+                provides_fullchain: false,
+                provides_ca_bundle: true,
+                root_in_bundle: false,
+                bundle_reversed: false,
+                install_guide: InstallGuide::AllServers,
+                market_weight: 8_219.0,
+            },
+            CaProfile {
+                name: "GoGetSSL",
+                universe_root: 4,
+                automated: false,
+                provides_fullchain: false,
+                provides_ca_bundle: true,
+                root_in_bundle: true,
+                bundle_reversed: true,
+                install_guide: InstallGuide::None,
+                market_weight: 1_617.0,
+            },
+            CaProfile {
+                name: "TAIWAN-CA",
+                universe_root: 5,
+                automated: false,
+                provides_fullchain: false,
+                provides_ca_bundle: false, // omits the needed intermediate
+                root_in_bundle: false,
+                bundle_reversed: false,
+                install_guide: InstallGuide::None,
+                market_weight: 492.0,
+            },
+            CaProfile {
+                name: "cyber_Folks S.A.",
+                universe_root: 6,
+                automated: false,
+                provides_fullchain: false,
+                provides_ca_bundle: true,
+                root_in_bundle: true,
+                bundle_reversed: true,
+                install_guide: InstallGuide::None,
+                market_weight: 142.0,
+            },
+            CaProfile {
+                name: "Trustico",
+                universe_root: 7,
+                automated: false,
+                provides_fullchain: false,
+                provides_ca_bundle: true,
+                root_in_bundle: true,
+                bundle_reversed: true,
+                install_guide: InstallGuide::ApacheIisOnly,
+                market_weight: 108.0,
+            },
+        ]
+    }
+
+    /// The long tail of CAs outside the paper's Table 11 rows. Used by the
+    /// corpus so aggregate (Table 5) marginals come out right; its defect
+    /// rates are calibrated in `ccc-testgen`. Behaves like a typical
+    /// manual CA: compliant ca-bundle, no fullchain, no automation.
+    pub fn other_cas() -> CaProfile {
+        CaProfile {
+            name: "Other CAs",
+            universe_root: 8, // "Commercial CA A Sim"
+            automated: false,
+            provides_fullchain: false,
+            provides_ca_bundle: true,
+            root_in_bundle: false,
+            bundle_reversed: false,
+            install_guide: InstallGuide::AllServers,
+            market_weight: 386_085.0,
+        }
+    }
+
+    /// Issue a certificate for `domain` from this CA's intermediate
+    /// `int_idx`, returning the file set the subscriber receives.
+    ///
+    /// `no_akid_leaf_issuer` selects the intermediate variant without AKID
+    /// for the bundle (used by the corpus to model terminal intermediates
+    /// that cannot be matched to roots without AIA).
+    pub fn issue(
+        &self,
+        universe: &CaUniverse,
+        int_idx: usize,
+        domain: &str,
+        not_before: Time,
+        not_after: Time,
+        drbg: &mut Drbg,
+        no_akid_intermediate: bool,
+    ) -> IssuedBundle {
+        let leaf_kp = KeyPair::from_seed(
+            Group::simulation_256(),
+            &drbg.fork(&format!("leaf/{domain}")).bytes(32),
+        );
+        self.issue_with_keypair(
+            universe,
+            int_idx,
+            domain,
+            not_before,
+            not_after,
+            &leaf_kp,
+            no_akid_intermediate,
+        )
+    }
+
+    /// Like [`Self::issue`] but with a caller-supplied leaf key pair
+    /// (corpus generation reuses a small key pool for speed; chain
+    /// structure is unaffected because uniqueness comes from DN/serial).
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue_with_keypair(
+        &self,
+        universe: &CaUniverse,
+        int_idx: usize,
+        domain: &str,
+        not_before: Time,
+        not_after: Time,
+        leaf_kp: &KeyPair,
+        no_akid_intermediate: bool,
+    ) -> IssuedBundle {
+        let root = &universe.roots[self.universe_root];
+        let int = &root.intermediates[int_idx % root.intermediates.len()];
+        let leaf = CertificateBuilder::leaf_profile(domain)
+            .validity(not_before, not_after)
+            .aia_ca_issuers(int.aia_uri.clone())
+            .issued_by(&leaf_kp.public, int.cert.subject().clone(), &int.keypair);
+
+        let int_cert = if no_akid_intermediate {
+            int.cert_no_akid.clone()
+        } else {
+            int.cert.clone()
+        };
+
+        let fullchain = self
+            .provides_fullchain
+            .then(|| vec![leaf.clone(), int_cert.clone()]);
+        let ca_bundle = self.provides_ca_bundle.then(|| {
+            // Compliant bundle order: intermediates in issuance order
+            // (closest to leaf first), root last when included.
+            let mut bundle = vec![int_cert.clone()];
+            if self.root_in_bundle {
+                bundle.push(root.cert.clone());
+            }
+            if self.bundle_reversed {
+                bundle.reverse();
+            }
+            bundle
+        });
+        IssuedBundle {
+            profile_name: self.name,
+            domain: domain.to_string(),
+            leaf,
+            intermediate: int_cert,
+            root: root.cert.clone(),
+            fullchain,
+            ca_bundle,
+            automated: self.automated,
+        }
+    }
+}
+
+/// The file set a subscriber receives from a CA.
+#[derive(Clone, Debug)]
+pub struct IssuedBundle {
+    /// Which CA issued it.
+    pub profile_name: &'static str,
+    /// Subscriber domain.
+    pub domain: String,
+    /// The leaf certificate (always delivered on its own).
+    pub leaf: Certificate,
+    /// The direct issuer intermediate (as delivered in the bundle, i.e.
+    /// possibly the no-AKID variant).
+    pub intermediate: Certificate,
+    /// The root above the intermediate (not always delivered).
+    pub root: Certificate,
+    /// fullchain.pem content, if provided (leaf first, compliant).
+    pub fullchain: Option<Vec<Certificate>>,
+    /// ca-bundle.pem content, if provided (order per profile).
+    pub ca_bundle: Option<Vec<Certificate>>,
+    /// Whether issuance+deployment is automated end-to-end.
+    pub automated: bool,
+}
+
+impl IssuedBundle {
+    /// The correct, compliant chain to deploy (leaf, intermediate), root
+    /// omitted.
+    pub fn compliant_chain(&self) -> Vec<Certificate> {
+        vec![self.leaf.clone(), self.intermediate.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CaUniverse, Vec<CaProfile>) {
+        (CaUniverse::default_with_seed(3), CaProfile::all())
+    }
+
+    fn window() -> (Time, Time) {
+        (
+            Time::from_ymd(2024, 1, 1).unwrap(),
+            Time::from_ymd(2024, 12, 31).unwrap(),
+        )
+    }
+
+    #[test]
+    fn lets_encrypt_provides_compliant_fullchain() {
+        let (u, profiles) = setup();
+        let (nb, na) = window();
+        let mut drbg = Drbg::from_u64(1);
+        let bundle = profiles[0].issue(&u, 0, "le.sim", nb, na, &mut drbg, false);
+        let fc = bundle.fullchain.expect("LE provides fullchain");
+        assert_eq!(fc.len(), 2);
+        assert_eq!(fc[0], bundle.leaf);
+        assert!(fc[0].verify_signature_with(fc[1].public_key()));
+        assert!(bundle.ca_bundle.is_none());
+        assert!(bundle.automated);
+    }
+
+    #[test]
+    fn gogetssl_bundle_is_reversed_with_root() {
+        let (u, profiles) = setup();
+        let (nb, na) = window();
+        let mut drbg = Drbg::from_u64(2);
+        let gogetssl = profiles.iter().find(|p| p.name == "GoGetSSL").unwrap();
+        let bundle = gogetssl.issue(&u, 0, "gg.sim", nb, na, &mut drbg, false);
+        let cb = bundle.ca_bundle.expect("bundle provided");
+        assert_eq!(cb.len(), 2);
+        // Reversed: root first, then intermediate.
+        assert!(cb[0].is_self_issued(), "root should come first (reversed)");
+        assert_eq!(cb[1], bundle.intermediate);
+        assert!(bundle.fullchain.is_none());
+    }
+
+    #[test]
+    fn zerossl_bundle_is_compliant_order() {
+        let (u, profiles) = setup();
+        let (nb, na) = window();
+        let mut drbg = Drbg::from_u64(3);
+        let zerossl = profiles.iter().find(|p| p.name == "ZeroSSL").unwrap();
+        let bundle = zerossl.issue(&u, 0, "zs.sim", nb, na, &mut drbg, false);
+        let cb = bundle.ca_bundle.unwrap();
+        assert_eq!(cb.len(), 1);
+        assert_eq!(cb[0], bundle.intermediate);
+    }
+
+    #[test]
+    fn taiwan_ca_provides_no_bundle() {
+        let (u, profiles) = setup();
+        let (nb, na) = window();
+        let mut drbg = Drbg::from_u64(4);
+        let twca = profiles.iter().find(|p| p.name == "TAIWAN-CA").unwrap();
+        let bundle = twca.issue(&u, 0, "tw.sim", nb, na, &mut drbg, false);
+        assert!(bundle.ca_bundle.is_none());
+        assert!(bundle.fullchain.is_none());
+    }
+
+    #[test]
+    fn leaf_verifies_and_has_aia() {
+        let (u, profiles) = setup();
+        let (nb, na) = window();
+        let mut drbg = Drbg::from_u64(5);
+        let bundle = profiles[1].issue(&u, 1, "dc.sim", nb, na, &mut drbg, false);
+        assert!(bundle
+            .leaf
+            .verify_signature_with(bundle.intermediate.public_key()));
+        assert!(bundle.leaf.aia_ca_issuers_uri().is_some());
+        assert_eq!(
+            bundle.leaf.san().unwrap().dns_names().collect::<Vec<_>>(),
+            vec!["dc.sim"]
+        );
+    }
+
+    #[test]
+    fn no_akid_variant_respected() {
+        let (u, profiles) = setup();
+        let (nb, na) = window();
+        let mut drbg = Drbg::from_u64(6);
+        let bundle = profiles[2].issue(&u, 0, "na.sim", nb, na, &mut drbg, true);
+        assert!(bundle.intermediate.akid().is_none());
+        assert!(bundle
+            .leaf
+            .verify_signature_with(bundle.intermediate.public_key()));
+    }
+
+    #[test]
+    fn issuance_is_deterministic_per_seed() {
+        let (u, profiles) = setup();
+        let (nb, na) = window();
+        let a = profiles[0].issue(&u, 0, "d.sim", nb, na, &mut Drbg::from_u64(9), false);
+        let b = profiles[0].issue(&u, 0, "d.sim", nb, na, &mut Drbg::from_u64(9), false);
+        assert_eq!(a.leaf, b.leaf);
+        let c = profiles[0].issue(&u, 0, "d.sim", nb, na, &mut Drbg::from_u64(10), false);
+        assert_ne!(a.leaf, c.leaf);
+    }
+
+    #[test]
+    fn market_weights_match_table11_shares() {
+        let profiles = CaProfile::all();
+        let le = profiles.iter().find(|p| p.name == "Let's Encrypt").unwrap();
+        let total: f64 = profiles.iter().map(|p| p.market_weight).sum();
+        // Let's Encrypt dominates (~77% of the Table 11 population).
+        assert!(le.market_weight / total > 0.7);
+    }
+}

@@ -1,0 +1,277 @@
+//! TLS Certificate message framing.
+//!
+//! Encodes/decodes the certificate list exactly as it appears on the wire:
+//!
+//! - TLS 1.2 (RFC 5246 §7.4.2): `Certificate` handshake message — handshake
+//!   type 11, 24-bit length, then a 24-bit certificate_list length and each
+//!   certificate as a 24-bit length + DER.
+//! - TLS 1.3 (RFC 8446 §4.4.2): adds a certificate_request_context and a
+//!   per-entry (empty here) extensions block.
+
+use ccc_x509::{Certificate, X509Error};
+use std::fmt;
+
+/// Handshake message type for Certificate.
+pub const HANDSHAKE_TYPE_CERTIFICATE: u8 = 11;
+
+/// Framing errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TlsMsgError {
+    /// Input shorter than a declared length.
+    Truncated,
+    /// Handshake type byte was not Certificate(11).
+    NotCertificateMessage(u8),
+    /// Declared lengths are inconsistent.
+    LengthMismatch,
+    /// A certificate entry failed to parse.
+    BadCertificate(X509Error),
+    /// A list or message exceeded the 2^24-1 framing limit.
+    TooLarge,
+}
+
+impl fmt::Display for TlsMsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlsMsgError::Truncated => write!(f, "certificate message truncated"),
+            TlsMsgError::NotCertificateMessage(t) => {
+                write!(f, "handshake type {t} is not Certificate(11)")
+            }
+            TlsMsgError::LengthMismatch => write!(f, "inconsistent certificate message lengths"),
+            TlsMsgError::BadCertificate(e) => write!(f, "bad certificate entry: {e}"),
+            TlsMsgError::TooLarge => write!(f, "certificate list exceeds 2^24-1 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for TlsMsgError {}
+
+fn push_u24(out: &mut Vec<u8>, v: usize) -> Result<(), TlsMsgError> {
+    if v > 0xff_ffff {
+        return Err(TlsMsgError::TooLarge);
+    }
+    out.push((v >> 16) as u8);
+    out.push((v >> 8) as u8);
+    out.push(v as u8);
+    Ok(())
+}
+
+fn read_u24(data: &[u8], pos: &mut usize) -> Result<usize, TlsMsgError> {
+    if data.len() < *pos + 3 {
+        return Err(TlsMsgError::Truncated);
+    }
+    let v = ((data[*pos] as usize) << 16) | ((data[*pos + 1] as usize) << 8) | data[*pos + 2] as usize;
+    *pos += 3;
+    Ok(v)
+}
+
+/// Encode a TLS 1.2 Certificate handshake message from a certificate list.
+pub fn encode_tls12(certs: &[Certificate]) -> Result<Vec<u8>, TlsMsgError> {
+    let mut list = Vec::new();
+    for cert in certs {
+        push_u24(&mut list, cert.to_der().len())?;
+        list.extend_from_slice(cert.to_der());
+    }
+    let mut body = Vec::with_capacity(list.len() + 3);
+    push_u24(&mut body, list.len())?;
+    body.extend_from_slice(&list);
+    let mut msg = Vec::with_capacity(body.len() + 4);
+    msg.push(HANDSHAKE_TYPE_CERTIFICATE);
+    push_u24(&mut msg, body.len())?;
+    msg.extend_from_slice(&body);
+    Ok(msg)
+}
+
+/// Decode a TLS 1.2 Certificate handshake message into its certificate
+/// list (in wire order, exactly as served).
+pub fn decode_tls12(msg: &[u8]) -> Result<Vec<Certificate>, TlsMsgError> {
+    let mut pos = 0usize;
+    if msg.is_empty() {
+        return Err(TlsMsgError::Truncated);
+    }
+    if msg[0] != HANDSHAKE_TYPE_CERTIFICATE {
+        return Err(TlsMsgError::NotCertificateMessage(msg[0]));
+    }
+    pos += 1;
+    let body_len = read_u24(msg, &mut pos)?;
+    if msg.len() != pos + body_len {
+        return Err(TlsMsgError::LengthMismatch);
+    }
+    let list_len = read_u24(msg, &mut pos)?;
+    if body_len != list_len + 3 {
+        return Err(TlsMsgError::LengthMismatch);
+    }
+    let end = pos + list_len;
+    let mut certs = Vec::new();
+    while pos < end {
+        let cert_len = read_u24(msg, &mut pos)?;
+        if pos + cert_len > end {
+            return Err(TlsMsgError::Truncated);
+        }
+        let cert = Certificate::from_der(&msg[pos..pos + cert_len])
+            .map_err(TlsMsgError::BadCertificate)?;
+        pos += cert_len;
+        certs.push(cert);
+    }
+    Ok(certs)
+}
+
+/// Encode a TLS 1.3 Certificate handshake message (empty request context,
+/// empty per-entry extensions).
+pub fn encode_tls13(certs: &[Certificate]) -> Result<Vec<u8>, TlsMsgError> {
+    let mut list = Vec::new();
+    for cert in certs {
+        push_u24(&mut list, cert.to_der().len())?;
+        list.extend_from_slice(cert.to_der());
+        // extensions<0..2^16-1>: empty.
+        list.push(0);
+        list.push(0);
+    }
+    let mut body = Vec::with_capacity(list.len() + 4);
+    body.push(0); // certificate_request_context length
+    push_u24(&mut body, list.len())?;
+    body.extend_from_slice(&list);
+    let mut msg = Vec::with_capacity(body.len() + 4);
+    msg.push(HANDSHAKE_TYPE_CERTIFICATE);
+    push_u24(&mut msg, body.len())?;
+    msg.extend_from_slice(&body);
+    Ok(msg)
+}
+
+/// Decode a TLS 1.3 Certificate handshake message.
+pub fn decode_tls13(msg: &[u8]) -> Result<Vec<Certificate>, TlsMsgError> {
+    let mut pos = 0usize;
+    if msg.is_empty() {
+        return Err(TlsMsgError::Truncated);
+    }
+    if msg[0] != HANDSHAKE_TYPE_CERTIFICATE {
+        return Err(TlsMsgError::NotCertificateMessage(msg[0]));
+    }
+    pos += 1;
+    let body_len = read_u24(msg, &mut pos)?;
+    if msg.len() != pos + body_len {
+        return Err(TlsMsgError::LengthMismatch);
+    }
+    // certificate_request_context
+    if msg.len() < pos + 1 {
+        return Err(TlsMsgError::Truncated);
+    }
+    let ctx_len = msg[pos] as usize;
+    pos += 1 + ctx_len;
+    let list_len = read_u24(msg, &mut pos)?;
+    let end = pos + list_len;
+    if end > msg.len() {
+        return Err(TlsMsgError::Truncated);
+    }
+    let mut certs = Vec::new();
+    while pos < end {
+        let cert_len = read_u24(msg, &mut pos)?;
+        if pos + cert_len > end {
+            return Err(TlsMsgError::Truncated);
+        }
+        let cert = Certificate::from_der(&msg[pos..pos + cert_len])
+            .map_err(TlsMsgError::BadCertificate)?;
+        pos += cert_len;
+        // extensions
+        if pos + 2 > end {
+            return Err(TlsMsgError::Truncated);
+        }
+        let ext_len = ((msg[pos] as usize) << 8) | msg[pos + 1] as usize;
+        pos += 2 + ext_len;
+        if pos > end {
+            return Err(TlsMsgError::Truncated);
+        }
+        certs.push(cert);
+    }
+    Ok(certs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_crypto::{Group, KeyPair};
+    use ccc_x509::{CertificateBuilder, DistinguishedName};
+
+    fn chain() -> Vec<Certificate> {
+        let g = Group::simulation_256();
+        let root_kp = KeyPair::from_seed(g, b"tls-root");
+        let leaf_kp = KeyPair::from_seed(g, b"tls-leaf");
+        let root_dn = DistinguishedName::cn("TLS Root");
+        let root = CertificateBuilder::ca_profile(root_dn.clone()).self_signed(&root_kp);
+        let leaf =
+            CertificateBuilder::leaf_profile("tls.sim").issued_by(&leaf_kp.public, root_dn, &root_kp);
+        vec![leaf, root]
+    }
+
+    #[test]
+    fn tls12_roundtrip_preserves_order() {
+        let certs = chain();
+        let msg = encode_tls12(&certs).unwrap();
+        assert_eq!(msg[0], HANDSHAKE_TYPE_CERTIFICATE);
+        let decoded = decode_tls12(&msg).unwrap();
+        assert_eq!(decoded, certs);
+
+        // Reversed order survives framing untouched (framing must not fix it).
+        let mut reversed = certs.clone();
+        reversed.reverse();
+        let msg = encode_tls12(&reversed).unwrap();
+        assert_eq!(decode_tls12(&msg).unwrap(), reversed);
+    }
+
+    #[test]
+    fn tls13_roundtrip() {
+        let certs = chain();
+        let msg = encode_tls13(&certs).unwrap();
+        assert_eq!(decode_tls13(&msg).unwrap(), certs);
+    }
+
+    #[test]
+    fn empty_list_roundtrips() {
+        let msg = encode_tls12(&[]).unwrap();
+        assert!(decode_tls12(&msg).unwrap().is_empty());
+        let msg = encode_tls13(&[]).unwrap();
+        assert!(decode_tls13(&msg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let certs = chain();
+        let mut msg = encode_tls12(&certs).unwrap();
+        msg[0] = 2; // ServerHello
+        assert_eq!(decode_tls12(&msg).unwrap_err(), TlsMsgError::NotCertificateMessage(2));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let certs = chain();
+        let msg = encode_tls12(&certs).unwrap();
+        for cut in [1usize, 4, 7, msg.len() - 1] {
+            assert!(decode_tls12(&msg[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let certs = chain();
+        let mut msg = encode_tls12(&certs).unwrap();
+        msg[3] = msg[3].wrapping_add(1); // corrupt outer length
+        assert!(decode_tls12(&msg).is_err());
+    }
+
+    #[test]
+    fn garbage_certificate_rejected() {
+        // A message framing one "certificate" of 4 junk bytes.
+        let mut list = Vec::new();
+        push_u24(&mut list, 4).unwrap();
+        list.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        let mut body = Vec::new();
+        push_u24(&mut body, list.len()).unwrap();
+        body.extend_from_slice(&list);
+        let mut msg = vec![HANDSHAKE_TYPE_CERTIFICATE];
+        push_u24(&mut msg, body.len()).unwrap();
+        msg.extend_from_slice(&body);
+        match decode_tls12(&msg) {
+            Err(TlsMsgError::BadCertificate(_)) => {}
+            other => panic!("expected BadCertificate, got {other:?}"),
+        }
+    }
+}

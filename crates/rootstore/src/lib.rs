@@ -1,0 +1,21 @@
+//! Synthetic CA universe and root store programs.
+//!
+//! The paper checks chain completeness against the root programs of
+//! Mozilla, Chrome, Microsoft and Apple (and their union). This crate
+//! builds the equivalent machinery over a synthetic CA universe:
+//!
+//! - [`universe::CaUniverse`]: a deterministic population of root CAs,
+//!   their intermediates (including cross-signed intermediates), and the
+//!   key material needed to issue leaves;
+//! - [`store::RootStore`]: an indexed trust store with the lookups chain
+//!   builders need (by fingerprint, by SKID, by subject DN);
+//! - [`program::RootPrograms`]: four overlapping stores mirroring the
+//!   structure of the real root programs, plus their union.
+
+pub mod program;
+pub mod store;
+pub mod universe;
+
+pub use program::{RootProgram, RootPrograms};
+pub use store::RootStore;
+pub use universe::{CaUniverse, CrossSignedPair, IssuingCa, RootCa, UniverseSpec};

@@ -1,0 +1,44 @@
+//! X.509 errors.
+
+use std::fmt;
+
+/// Errors from parsing or building certificates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum X509Error {
+    /// Underlying DER was malformed.
+    Der(ccc_asn1::Error),
+    /// DER was well-formed but violated the certificate profile.
+    Profile(&'static str),
+    /// An algorithm OID was not one of the supported algorithms.
+    UnsupportedAlgorithm(String),
+    /// Key material did not parse under its declared algorithm.
+    InvalidKey,
+}
+
+impl fmt::Display for X509Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            X509Error::Der(e) => write!(f, "DER error: {e}"),
+            X509Error::Profile(what) => write!(f, "certificate profile violation: {what}"),
+            X509Error::UnsupportedAlgorithm(oid) => {
+                write!(f, "unsupported algorithm OID {oid}")
+            }
+            X509Error::InvalidKey => write!(f, "invalid public key material"),
+        }
+    }
+}
+
+impl std::error::Error for X509Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            X509Error::Der(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ccc_asn1::Error> for X509Error {
+    fn from(e: ccc_asn1::Error) -> Self {
+        X509Error::Der(e)
+    }
+}

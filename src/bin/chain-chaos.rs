@@ -1,0 +1,313 @@
+//! The chain-chaos command-line tool.
+//!
+//! ```text
+//! chain-chaos demo-pki --out <dir>       generate a demo PKI as PEM files
+//! chain-chaos analyze <chain.pem> [--domain D] [--store roots.pem]
+//!                                        server-side compliance analysis
+//! chain-chaos build <chain.pem> --store roots.pem [--client NAME]
+//!                                        [--domain D] [--time YYYY-MM-DD]
+//!                                        run one client's chain construction
+//! chain-chaos matrix <chain.pem> --store roots.pem [--time YYYY-MM-DD]
+//!                                        run all eight client profiles
+//! ```
+
+use chain_chaos::asn1::Time;
+use chain_chaos::core::clients::ClientKind;
+use chain_chaos::core::report::TextTable;
+use chain_chaos::core::{
+    analyze_order, classify_leaf_placement, BuildContext, CompletenessAnalyzer, IssuanceChecker,
+    TopologyGraph,
+};
+use chain_chaos::crypto::{Group, KeyPair};
+use chain_chaos::netsim::AiaRepository;
+use chain_chaos::rootstore::RootStore;
+use chain_chaos::x509::pem;
+use chain_chaos::x509::{Certificate, CertificateBuilder, DistinguishedName};
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("option --{name} needs a value"))?;
+                options.push((name.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(Args {
+            positional,
+            options,
+        })
+    }
+
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn load_chain(path: &str) -> Result<Vec<Certificate>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    pem::decode_chain(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_store(args: &Args) -> Result<RootStore, String> {
+    match args.opt("store") {
+        Some(path) => Ok(RootStore::new("cli", load_chain(path)?)),
+        None => Ok(RootStore::new("empty", Vec::new())),
+    }
+}
+
+fn parse_time(args: &Args) -> Result<Time, String> {
+    match args.opt("time") {
+        None => Ok(Time::from_ymd(2024, 7, 1).expect("valid")),
+        Some(spec) => {
+            let parts: Vec<&str> = spec.split('-').collect();
+            if parts.len() != 3 {
+                return Err(format!("--time must be YYYY-MM-DD, got {spec}"));
+            }
+            let y: i32 = parts[0].parse().map_err(|_| "bad year".to_string())?;
+            let m: u8 = parts[1].parse().map_err(|_| "bad month".to_string())?;
+            let d: u8 = parts[2].parse().map_err(|_| "bad day".to_string())?;
+            Time::from_ymd(y, m, d).ok_or_else(|| format!("invalid date {spec}"))
+        }
+    }
+}
+
+fn cmd_demo_pki(args: &Args) -> Result<(), String> {
+    let out = args.opt("out").unwrap_or("demo-pki");
+    let dir = Path::new(out);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out}: {e}"))?;
+
+    let g = Group::simulation_256();
+    let root_kp = KeyPair::from_seed(g, b"cli-demo-root");
+    let int_kp = KeyPair::from_seed(g, b"cli-demo-int");
+    let leaf_kp = KeyPair::from_seed(g, b"cli-demo-leaf");
+    let root_dn = DistinguishedName::cn_o("Demo Root CA", "chain-chaos demo");
+    let int_dn = DistinguishedName::cn_o("Demo Issuing CA", "chain-chaos demo");
+    let root = CertificateBuilder::ca_profile(root_dn.clone())
+        .validity(
+            Time::from_ymd(2020, 1, 1).expect("valid"),
+            Time::from_ymd(2040, 1, 1).expect("valid"),
+        )
+        .self_signed(&root_kp);
+    let int = CertificateBuilder::ca_profile(int_dn.clone()).issued_by(
+        &int_kp.public,
+        root_dn,
+        &root_kp,
+    );
+    let leaf = CertificateBuilder::leaf_profile("demo.example").issued_by(
+        &leaf_kp.public,
+        int_dn,
+        &int_kp,
+    );
+
+    let write = |name: &str, content: String| -> Result<(), String> {
+        let path = dir.join(name);
+        std::fs::write(&path, content).map_err(|e| format!("cannot write {name}: {e}"))?;
+        println!("wrote {}", path.display());
+        Ok(())
+    };
+    write("root.pem", pem::encode_certificate(&root))?;
+    write("intermediate.pem", pem::encode_certificate(&int))?;
+    write("leaf.pem", pem::encode_certificate(&leaf))?;
+    write(
+        "fullchain.pem",
+        pem::encode_chain(&[leaf.clone(), int.clone()]),
+    )?;
+    write(
+        "reversed-chain.pem",
+        pem::encode_chain(&[leaf.clone(), root.clone(), int.clone()]),
+    )?;
+    write("lonely-leaf.pem", pem::encode_certificate(&leaf))?;
+    println!(
+        "\ntry:\n  chain-chaos analyze {0}/reversed-chain.pem --domain demo.example --store {0}/root.pem\n  chain-chaos matrix {0}/reversed-chain.pem --store {0}/root.pem",
+        out
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: chain-chaos analyze <chain.pem> [--domain D] [--store roots.pem]")?;
+    let served = load_chain(path)?;
+    let store = load_store(args)?;
+    let checker = IssuanceChecker::new();
+    let aia = AiaRepository::empty();
+
+    println!("{}: {} certificates", path, served.len());
+    for (i, cert) in served.iter().enumerate() {
+        let v = cert.validity();
+        println!(
+            "  [{i}] subject={} issuer={}{}",
+            cert.subject(),
+            cert.issuer(),
+            if cert.is_self_issued() { " (self-issued)" } else { "" }
+        );
+        println!("      validity {} .. {}  fp={}", v.not_before, v.not_after, cert.fingerprint().short());
+    }
+
+    let graph = TopologyGraph::build(&served, &checker);
+    println!("\ntopology: {}", graph.describe());
+    let order = analyze_order(&served, &checker);
+    println!(
+        "issuance order: duplicates={} irrelevant={} paths={} reversed={} => {}",
+        order.duplicates.total(),
+        order.irrelevant,
+        order.path_count,
+        order.reversed_paths,
+        if order.is_compliant() { "COMPLIANT" } else { "NON-COMPLIANT" }
+    );
+
+    if let Some(domain) = args.opt("domain") {
+        let placement = classify_leaf_placement(domain, &served);
+        println!("leaf placement for {domain}: {}", placement.label());
+    }
+
+    let analyzer = CompletenessAnalyzer::new(&checker, &store, Some(&aia));
+    let completeness = analyzer.analyze(&served);
+    println!(
+        "completeness (against {} trusted roots): {}",
+        store.len(),
+        completeness.completeness.label()
+    );
+    Ok(())
+}
+
+fn run_engine(
+    kind: ClientKind,
+    served: &[Certificate],
+    store: &RootStore,
+    now: Time,
+    domain: Option<&str>,
+) -> (String, String) {
+    let checker = IssuanceChecker::new();
+    let aia = AiaRepository::empty();
+    let ctx = BuildContext {
+        store,
+        aia: Some(&aia),
+        cache: &[],
+        now,
+        checker: &checker,
+    };
+    let outcome = kind.engine().process(served, &ctx);
+    let verdict = match &outcome.verdict {
+        Ok(()) => match domain {
+            Some(d)
+                if !chain_chaos::core::leaf::cert_covers_domain(
+                    served.first().expect("non-empty"),
+                    d,
+                ) =>
+            {
+                "REJECTED: hostname mismatch".to_string()
+            }
+            _ => "accepted".to_string(),
+        },
+        Err(e) => format!("REJECTED: {e}"),
+    };
+    let path = outcome
+        .path
+        .iter()
+        .map(|c| c.subject().common_name().unwrap_or("?").to_string())
+        .collect::<Vec<_>>()
+        .join(" <- ");
+    (verdict, path)
+}
+
+fn cmd_build(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or(
+        "usage: chain-chaos build <chain.pem> --store roots.pem [--client NAME] [--domain D]",
+    )?;
+    let served = load_chain(path)?;
+    if served.is_empty() {
+        return Err("empty chain".into());
+    }
+    let store = load_store(args)?;
+    let now = parse_time(args)?;
+    let client_name = args.opt("client").unwrap_or("chrome").to_lowercase();
+    let kind = ClientKind::ALL
+        .iter()
+        .find(|k| k.name().to_lowercase().replace(' ', "") == client_name.replace(' ', ""))
+        .copied()
+        .ok_or_else(|| {
+            format!(
+                "unknown client {client_name}; options: {}",
+                ClientKind::ALL.map(|k| k.name()).join(", ")
+            )
+        })?;
+    let (verdict, built) = run_engine(kind, &served, &store, now, args.opt("domain"));
+    println!("{}: {verdict}", kind.name());
+    if !built.is_empty() {
+        println!("constructed path: {built}");
+    }
+    Ok(())
+}
+
+fn cmd_matrix(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: chain-chaos matrix <chain.pem> --store roots.pem [--domain D]")?;
+    let served = load_chain(path)?;
+    let store = load_store(args)?;
+    let now = parse_time(args)?;
+    let mut table = TextTable::new("Client verdicts", &["Client", "Verdict", "Constructed path"]);
+    for kind in ClientKind::ALL {
+        let (verdict, built) = run_engine(kind, &served, &store, now, args.opt("domain"));
+        table.row(&[kind.name().to_string(), verdict, built]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let command = args.positional.first().map(String::as_str).unwrap_or("");
+    let result = match command {
+        "demo-pki" => cmd_demo_pki(&args),
+        "analyze" => cmd_analyze(&args),
+        "build" => cmd_build(&args),
+        "matrix" => cmd_matrix(&args),
+        _ => {
+            eprintln!(
+                "chain-chaos — Web PKI certificate chain compliance toolkit\n\n\
+                 commands:\n\
+                 \x20 demo-pki --out <dir>\n\
+                 \x20 analyze <chain.pem> [--domain D] [--store roots.pem]\n\
+                 \x20 build   <chain.pem> --store roots.pem [--client NAME] [--domain D] [--time YYYY-MM-DD]\n\
+                 \x20 matrix  <chain.pem> --store roots.pem [--domain D] [--time YYYY-MM-DD]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration tests for the `chain-chaos` CLI binary, driven through the
+//! real executable with PEM files on disk.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_chain-chaos"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chain-chaos-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let output = bin().output().expect("run");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("commands:"), "{err}");
+}
+
+#[test]
+fn demo_pki_analyze_and_matrix_roundtrip() {
+    let dir = tempdir("roundtrip");
+    let out = dir.to_str().unwrap();
+
+    // Generate the demo PKI.
+    let output = bin().args(["demo-pki", "--out", out]).output().expect("run");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    for file in [
+        "root.pem",
+        "intermediate.pem",
+        "leaf.pem",
+        "fullchain.pem",
+        "reversed-chain.pem",
+    ] {
+        assert!(dir.join(file).exists(), "{file} missing");
+    }
+
+    // Analyze the reversed chain.
+    let reversed = dir.join("reversed-chain.pem");
+    let root = dir.join("root.pem");
+    let output = bin()
+        .args([
+            "analyze",
+            reversed.to_str().unwrap(),
+            "--domain",
+            "demo.example",
+            "--store",
+            root.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("NON-COMPLIANT"), "{text}");
+    assert!(text.contains("Correctly Placed and Matched"), "{text}");
+    assert!(text.contains("Complete Chain w/ Root"), "{text}");
+
+    // Matrix: all eight clients appear.
+    let output = bin()
+        .args([
+            "matrix",
+            reversed.to_str().unwrap(),
+            "--store",
+            root.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    for client in ["OpenSSL", "GnuTLS", "MbedTLS", "CryptoAPI", "Chrome", "Safari", "Firefox"] {
+        assert!(text.contains(client), "missing {client}: {text}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn build_detects_untrusted_and_hostname_issues() {
+    let dir = tempdir("build");
+    let out = dir.to_str().unwrap();
+    bin().args(["demo-pki", "--out", out]).output().expect("run");
+    let chain = dir.join("fullchain.pem");
+    let root = dir.join("root.pem");
+
+    // Without a store: untrusted root.
+    let output = bin()
+        .args(["build", chain.to_str().unwrap(), "--client", "chrome"])
+        .output()
+        .expect("run");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("REJECTED"), "{text}");
+
+    // With the store: accepted.
+    let output = bin()
+        .args([
+            "build",
+            chain.to_str().unwrap(),
+            "--client",
+            "chrome",
+            "--store",
+            root.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("accepted"), "{text}");
+    assert!(text.contains("demo.example <-"), "{text}");
+
+    // Wrong domain: hostname mismatch.
+    let output = bin()
+        .args([
+            "build",
+            chain.to_str().unwrap(),
+            "--store",
+            root.to_str().unwrap(),
+            "--domain",
+            "other.example",
+        ])
+        .output()
+        .expect("run");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("hostname mismatch"), "{text}");
+
+    // Expired clock: rejected.
+    let output = bin()
+        .args([
+            "build",
+            chain.to_str().unwrap(),
+            "--store",
+            root.to_str().unwrap(),
+            "--time",
+            "2039-01-01",
+        ])
+        .output()
+        .expect("run");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("expired"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_inputs_produce_clean_errors() {
+    let output = bin()
+        .args(["analyze", "/nonexistent/file.pem"])
+        .output()
+        .expect("run");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+
+    let dir = tempdir("bad");
+    let junk = dir.join("junk.pem");
+    std::fs::write(&junk, "this is not pem").unwrap();
+    let output = bin()
+        .args(["analyze", junk.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(!output.status.success());
+
+    let output = bin()
+        .args(["build", junk.to_str().unwrap(), "--client", "netscape"])
+        .output()
+        .expect("run");
+    assert!(!output.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
