@@ -3,7 +3,7 @@
 
 use ccc_core::{analyze_order, CompletenessAnalyzer, IssuanceChecker, TopologyGraph};
 use ccc_testgen::{Corpus, CorpusSpec};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_analysis(c: &mut Criterion) {
     let corpus = Corpus::new(CorpusSpec::calibrated(55, 64));
@@ -42,6 +42,52 @@ fn bench_analysis(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lock-contention comparison: every worker thread hammers ONE shared
+/// checker over a warmed cache, so per-lookup lock overhead dominates.
+/// `single_mutex` is `with_shards(1)` (the old design's locking); the
+/// sharded default should beat it clearly on multi-core hosts.
+fn bench_shared_cache_contention(c: &mut Criterion) {
+    let corpus = Corpus::new(CorpusSpec::calibrated(57, 512));
+    let observations = corpus.collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+
+    let mut group = c.benchmark_group("shared_cache");
+    group.throughput(Throughput::Elements(observations.len() as u64));
+    for (label, shards) in [("single_mutex", 1usize), ("sharded_64", 64)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("corpus_pass_{threads}t"), label),
+            &shards,
+            |b, &shards| {
+                let checker = IssuanceChecker::with_shards(shards);
+                // Warm the cache: measure lookup/lock cost, not Schnorr.
+                for obs in &observations {
+                    let _ = TopologyGraph::build(&obs.served, &checker);
+                }
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for t in 0..threads {
+                            let checker = &checker;
+                            let observations = &observations;
+                            scope.spawn(move || {
+                                for obs in observations.iter().skip(t).step_by(threads) {
+                                    std::hint::black_box(TopologyGraph::build(
+                                        &obs.served,
+                                        checker,
+                                    ));
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_corpus_generation(c: &mut Criterion) {
     let corpus = Corpus::new(CorpusSpec::calibrated(56, 1_000_000));
     let mut group = c.benchmark_group("corpus");
@@ -62,6 +108,6 @@ fn bench_corpus_generation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_analysis, bench_corpus_generation
+    targets = bench_analysis, bench_shared_cache_contention, bench_corpus_generation
 }
 criterion_main!(benches);

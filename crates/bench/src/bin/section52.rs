@@ -5,13 +5,15 @@
 //! `cargo run --release --bin section52 [domains]`
 
 use ccc_bench::{domains_from_env, scan_corpus, DifferentialSummary};
-use ccc_core::report::{count_pct, TextTable};
+use ccc_core::report::{count_pct, render_cache_stats, TextTable};
+use ccc_core::IssuanceChecker;
 
 fn main() {
     let domains = domains_from_env();
     eprintln!("generating {domains} domains and running all 8 clients on each…");
     let corpus = scan_corpus(domains);
-    let d = DifferentialSummary::compute(&corpus);
+    let checker = IssuanceChecker::new();
+    let d = DifferentialSummary::compute_with_checker(&corpus, &checker);
     let r = &d.report;
 
     let mut table = TextTable::new(
@@ -89,4 +91,5 @@ fn main() {
             println!("  {:<26} {domain}", cause.label());
         }
     }
+    eprintln!("{}", render_cache_stats(&checker.snapshot_stats()));
 }

@@ -4,13 +4,15 @@
 //! `cargo run --release --bin table10 [domains]`
 
 use ccc_bench::{domains_from_env, scan_corpus, server_columns, CorpusSummary};
-use ccc_core::report::{count_pct, TextTable};
+use ccc_core::IssuanceChecker;
+use ccc_core::report::{TextTable, count_pct, render_cache_stats};
 
 fn main() {
     let domains = domains_from_env();
     eprintln!("scanning {domains} synthetic domains…");
     let corpus = scan_corpus(domains);
-    let s = CorpusSummary::compute(&corpus);
+    let checker = IssuanceChecker::new();
+    let s = CorpusSummary::compute_with_checker(&corpus, &checker);
 
     let columns = server_columns();
     let mut header = vec!["Non-compliant Type"];
@@ -52,4 +54,5 @@ fn main() {
          duplicate leaves) thanks to its two-file layout; Azure shows ~0 duplicate\n\
          leaves (upload check); Nginx leads reversed sequences."
     );
+    eprintln!("{}", render_cache_stats(&checker.snapshot_stats()));
 }

@@ -3,14 +3,16 @@
 //! `cargo run --release --bin table3 [domains]`
 
 use ccc_bench::{domains_from_env, scan_corpus, CorpusSummary};
-use ccc_core::report::{count_pct, TextTable};
+use ccc_core::IssuanceChecker;
+use ccc_core::report::{TextTable, count_pct, render_cache_stats};
 use ccc_core::LeafPlacement;
 
 fn main() {
     let domains = domains_from_env();
     eprintln!("scanning {domains} synthetic domains…");
     let corpus = scan_corpus(domains);
-    let s = CorpusSummary::compute(&corpus);
+    let checker = IssuanceChecker::new();
+    let s = CorpusSummary::compute_with_checker(&corpus, &checker);
 
     let paper: &[(&str, &str)] = &[
         ("Correctly Placed and Matched", "838,354 (92.5%)"),
@@ -42,4 +44,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    eprintln!("{}", render_cache_stats(&checker.snapshot_stats()));
 }

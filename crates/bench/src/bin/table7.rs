@@ -4,14 +4,16 @@
 //! `cargo run --release --bin table7 [domains]`
 
 use ccc_bench::{domains_from_env, scan_corpus, CorpusSummary};
-use ccc_core::report::{count_pct, group_thousands, TextTable};
+use ccc_core::IssuanceChecker;
+use ccc_core::report::{TextTable, count_pct, group_thousands, render_cache_stats};
 use ccc_core::Completeness;
 
 fn main() {
     let domains = domains_from_env();
     eprintln!("scanning {domains} synthetic domains…");
     let corpus = scan_corpus(domains);
-    let s = CorpusSummary::compute(&corpus);
+    let checker = IssuanceChecker::new();
+    let s = CorpusSummary::compute_with_checker(&corpus, &checker);
 
     let mut table = TextTable::new(
         "Table 7 — Completeness of certificate chain",
@@ -70,4 +72,5 @@ fn main() {
          store SKID match: {}",
         group_thousands(s.root_via_aia)
     );
+    eprintln!("{}", render_cache_stats(&checker.snapshot_stats()));
 }

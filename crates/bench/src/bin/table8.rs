@@ -7,14 +7,16 @@
 //! `cargo run --release --bin table8 [domains]`
 
 use ccc_bench::{domains_from_env, scan_corpus, CorpusSummary};
-use ccc_core::report::{group_thousands, TextTable};
+use ccc_core::IssuanceChecker;
+use ccc_core::report::{TextTable, group_thousands, render_cache_stats};
 use ccc_rootstore::RootProgram;
 
 fn main() {
     let domains = domains_from_env();
     eprintln!("scanning {domains} synthetic domains…");
     let corpus = scan_corpus(domains);
-    let s = CorpusSummary::compute(&corpus);
+    let checker = IssuanceChecker::new();
+    let s = CorpusSummary::compute_with_checker(&corpus, &checker);
 
     let baseline = s.unified_incomplete_with_aia;
     let mut table = TextTable::new(
@@ -45,4 +47,5 @@ fn main() {
         group_thousands(baseline),
         group_thousands(s.total),
     );
+    eprintln!("{}", render_cache_stats(&checker.snapshot_stats()));
 }

@@ -48,7 +48,7 @@ pub fn scan_corpus(domains: usize) -> Corpus {
 }
 
 /// Per-(store, AIA) completeness tallies for Table 8.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StoreCompleteness {
     /// Chains NOT anchorable with AIA enabled.
     pub incomplete_with_aia: usize,
@@ -57,7 +57,7 @@ pub struct StoreCompleteness {
 }
 
 /// Cross-tab row used by Tables 10/11: counts per non-compliance type.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DefectCounts {
     /// Any non-compliance at all.
     pub any: usize,
@@ -78,7 +78,7 @@ pub struct DefectCounts {
 }
 
 /// Everything a single streaming pass over the corpus accumulates.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CorpusSummary {
     /// Domains scanned.
     pub total: usize,
@@ -131,14 +131,33 @@ pub struct CorpusSummary {
 impl CorpusSummary {
     /// One pass over `corpus`, parallelized across available cores (the
     /// corpus is rank-independent by construction; partial summaries are
-    /// merged).
+    /// merged). All workers share one sharded [`IssuanceChecker`], so each
+    /// (issuer, subject) signature is verified at most once per pass.
     pub fn compute(corpus: &Corpus) -> CorpusSummary {
+        let checker = IssuanceChecker::new();
+        Self::compute_with_checker(corpus, &checker)
+    }
+
+    /// [`compute`](Self::compute) against a caller-supplied shared checker
+    /// (lets binaries reuse one cache across multiple passes and then read
+    /// [`IssuanceChecker::snapshot_stats`]).
+    pub fn compute_with_checker(corpus: &Corpus, checker: &IssuanceChecker) -> CorpusSummary {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(16);
+        Self::compute_with_threads(corpus, checker, threads)
+    }
+
+    /// [`compute`](Self::compute) with an explicit worker count (testing
+    /// hook: the result must be identical for every `threads` value).
+    pub fn compute_with_threads(
+        corpus: &Corpus,
+        checker: &IssuanceChecker,
+        threads: usize,
+    ) -> CorpusSummary {
         if threads <= 1 || corpus.spec.domains < 256 {
-            return Self::compute_range(corpus, 0, corpus.spec.domains);
+            return Self::compute_range(corpus, checker, 0, corpus.spec.domains);
         }
         let chunk = corpus.spec.domains.div_ceil(threads);
         let partials: Vec<CorpusSummary> = std::thread::scope(|scope| {
@@ -146,7 +165,7 @@ impl CorpusSummary {
                 .map(|t| {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(corpus.spec.domains);
-                    scope.spawn(move || Self::compute_range(corpus, start, end))
+                    scope.spawn(move || Self::compute_range(corpus, checker, start, end))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker")).collect()
@@ -216,13 +235,17 @@ impl CorpusSummary {
         self.longest_list = self.longest_list.max(other.longest_list);
     }
 
-    /// Sequential pass over a rank range.
-    fn compute_range(corpus: &Corpus, start: usize, end: usize) -> CorpusSummary {
-        let checker = IssuanceChecker::new();
+    /// Sequential pass over a rank range against a shared checker.
+    pub fn compute_range(
+        corpus: &Corpus,
+        checker: &IssuanceChecker,
+        start: usize,
+        end: usize,
+    ) -> CorpusSummary {
         let analyzer =
-            CompletenessAnalyzer::new(&checker, corpus.programs.unified(), Some(&corpus.aia));
+            CompletenessAnalyzer::new(checker, corpus.programs.unified(), Some(&corpus.aia));
         let no_aia_analyzer =
-            CompletenessAnalyzer::new(&checker, corpus.programs.unified(), None);
+            CompletenessAnalyzer::new(checker, corpus.programs.unified(), None);
         let program_analyzers: Vec<(RootProgram, CompletenessAnalyzer, CompletenessAnalyzer)> =
             RootProgram::ALL
                 .iter()
@@ -230,11 +253,11 @@ impl CorpusSummary {
                     (
                         p,
                         CompletenessAnalyzer::new(
-                            &checker,
+                            checker,
                             corpus.programs.store(p),
                             Some(&corpus.aia),
                         ),
-                        CompletenessAnalyzer::new(&checker, corpus.programs.store(p), None),
+                        CompletenessAnalyzer::new(checker, corpus.programs.store(p), None),
                     )
                 })
                 .collect();
@@ -244,7 +267,7 @@ impl CorpusSummary {
             ..Default::default()
         };
         let mut handle = |obs: ccc_testgen::DomainObservation| {
-            let report = analyze_compliance(&obs.domain, &obs.served, &checker, &analyzer);
+            let report = analyze_compliance(&obs.domain, &obs.served, checker, &analyzer);
             *s.placement.entry(report.leaf_placement).or_insert(0) += 1;
             *s.completeness
                 .entry(report.completeness.completeness)
@@ -310,7 +333,7 @@ impl CorpusSummary {
             }
 
             // Table 8 passes.
-            let graph = TopologyGraph::build(&obs.served, &checker);
+            let graph = TopologyGraph::build(&obs.served, checker);
             if !analyzer.client_complete(&graph) {
                 s.unified_incomplete_with_aia += 1;
             }
@@ -380,14 +403,33 @@ pub struct DifferentialSummary {
 
 impl DifferentialSummary {
     /// Run the differential harness over the corpus (parallel over rank
-    /// ranges, partials merged).
+    /// ranges, partials merged). Workers share one sharded
+    /// [`IssuanceChecker`].
     pub fn compute(corpus: &Corpus) -> DifferentialSummary {
+        let checker = IssuanceChecker::new();
+        Self::compute_with_checker(corpus, &checker)
+    }
+
+    /// [`compute`](Self::compute) against a caller-supplied shared checker.
+    pub fn compute_with_checker(
+        corpus: &Corpus,
+        checker: &IssuanceChecker,
+    ) -> DifferentialSummary {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(16);
+        Self::compute_with_threads(corpus, checker, threads)
+    }
+
+    /// [`compute`](Self::compute) with an explicit worker count.
+    pub fn compute_with_threads(
+        corpus: &Corpus,
+        checker: &IssuanceChecker,
+        threads: usize,
+    ) -> DifferentialSummary {
         if threads <= 1 || corpus.spec.domains < 256 {
-            return Self::compute_range(corpus, 0, corpus.spec.domains);
+            return Self::compute_range(corpus, checker, 0, corpus.spec.domains);
         }
         let chunk = corpus.spec.domains.div_ceil(threads);
         let partials: Vec<DifferentialSummary> = std::thread::scope(|scope| {
@@ -395,7 +437,7 @@ impl DifferentialSummary {
                 .map(|t| {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(corpus.spec.domains);
-                    scope.spawn(move || Self::compute_range(corpus, start, end))
+                    scope.spawn(move || Self::compute_range(corpus, checker, start, end))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker")).collect()
@@ -433,24 +475,28 @@ impl DifferentialSummary {
         }
     }
 
-    /// Sequential pass over a rank range.
-    fn compute_range(corpus: &Corpus, start: usize, end: usize) -> DifferentialSummary {
-        let checker = IssuanceChecker::new();
+    /// Sequential pass over a rank range against a shared checker.
+    pub fn compute_range(
+        corpus: &Corpus,
+        checker: &IssuanceChecker,
+        start: usize,
+        end: usize,
+    ) -> DifferentialSummary {
         let analyzer =
-            CompletenessAnalyzer::new(&checker, corpus.programs.unified(), Some(&corpus.aia));
+            CompletenessAnalyzer::new(checker, corpus.programs.unified(), Some(&corpus.aia));
         let harness = DifferentialHarness::new(
             corpus.programs.unified(),
             Some(&corpus.aia),
             corpus.intermediate_cache(),
             scan_time(),
-            &checker,
+            checker,
         );
         let mut s = DifferentialSummary {
             corpus_total: end - start,
             ..Default::default()
         };
         let mut handle = |obs: ccc_testgen::DomainObservation| {
-            let compliance = analyze_compliance(&obs.domain, &obs.served, &checker, &analyzer);
+            let compliance = analyze_compliance(&obs.domain, &obs.served, checker, &analyzer);
             // Domain-aware run: hostname mismatches count as failures in
             // every client (the paper's availability numbers include
             // domain-mismatch and date errors, not just chain building).

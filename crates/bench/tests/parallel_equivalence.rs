@@ -1,0 +1,119 @@
+//! Concurrency guarantees of the shared sharded [`IssuanceChecker`]:
+//!
+//! 1. Parallel corpus passes are *bit-identical* to the sequential pass,
+//!    whatever the worker count — sharing one signature cache across
+//!    threads must never change results, only save work.
+//! 2. Hammering one checker from many threads performs each unique
+//!    (issuer, subject) verification exactly once; every other lookup is
+//!    either a hit or a coalesced wait (the old double-lock design
+//!    recomputed in that window).
+
+use ccc_bench::{scan_corpus, CorpusSummary, DifferentialSummary};
+use ccc_core::IssuanceChecker;
+use ccc_x509::CertificateFingerprint;
+use std::collections::HashSet;
+
+/// Thread counts exercised by the equivalence tests: degenerate (1),
+/// odd/non-divisor (3), and more threads than this container has cores
+/// (16).
+const THREAD_COUNTS: [usize; 3] = [1, 3, 16];
+
+#[test]
+fn parallel_summary_is_bit_identical_to_sequential() {
+    // 200 stays below the 256-domain parallelism threshold (all thread
+    // counts take the sequential path); 272 is above it.
+    for domains in [200usize, 272] {
+        let corpus = scan_corpus(domains);
+        let reference_checker = IssuanceChecker::new();
+        let reference = CorpusSummary::compute_range(&corpus, &reference_checker, 0, domains);
+        assert_eq!(reference.total, domains);
+        for threads in THREAD_COUNTS {
+            let checker = IssuanceChecker::new();
+            let summary = CorpusSummary::compute_with_threads(&corpus, &checker, threads);
+            assert_eq!(
+                summary, reference,
+                "parallel summary diverged (domains={domains}, threads={threads})"
+            );
+            // Counter invariants hold after workers are joined.
+            let stats = checker.snapshot_stats();
+            assert_eq!(stats.hits + stats.misses, stats.lookups);
+            assert_eq!(stats.verifications + stats.coalesced_waits, stats.misses);
+            assert_eq!(stats.verifications as usize, stats.entries);
+        }
+    }
+}
+
+#[test]
+fn parallel_differential_is_bit_identical_to_sequential() {
+    let domains = 272; // above the parallelism threshold
+    let corpus = scan_corpus(domains);
+    let reference_checker = IssuanceChecker::new();
+    let reference =
+        DifferentialSummary::compute_range(&corpus, &reference_checker, 0, domains);
+    for threads in THREAD_COUNTS {
+        let checker = IssuanceChecker::new();
+        let summary = DifferentialSummary::compute_with_threads(&corpus, &checker, threads);
+        assert_eq!(summary.report, reference.report, "threads={threads}");
+        assert_eq!(
+            summary.corpus_library_failures,
+            reference.corpus_library_failures
+        );
+        assert_eq!(
+            summary.corpus_browser_failures,
+            reference.corpus_browser_failures
+        );
+        assert_eq!(summary.cause_examples, reference.cause_examples);
+    }
+}
+
+#[test]
+fn hammered_checker_verifies_each_unique_pair_exactly_once() {
+    let corpus = scan_corpus(48);
+    let observations = corpus.collect();
+    // Every ordered (issuer?, subject?) pair within each served list,
+    // queried repeatedly by every worker.
+    let mut pairs = Vec::new();
+    for obs in &observations {
+        for a in &obs.served {
+            for b in &obs.served {
+                pairs.push((a.clone(), b.clone()));
+            }
+        }
+    }
+    assert!(pairs.len() > 100, "corpus too small to exercise the cache");
+    let unique: HashSet<(CertificateFingerprint, CertificateFingerprint)> = pairs
+        .iter()
+        .map(|(a, b)| (a.fingerprint(), b.fingerprint()))
+        .collect();
+
+    const WORKERS: usize = 8;
+    let checker = IssuanceChecker::new();
+    std::thread::scope(|scope| {
+        for t in 0..WORKERS {
+            let checker = &checker;
+            let pairs = &pairs;
+            scope.spawn(move || {
+                // Stagger each worker's starting offset so different
+                // threads collide on the same keys at the same time.
+                for (a, b) in pairs.iter().cycle().skip(t * 7).take(pairs.len()) {
+                    std::hint::black_box(checker.signature_verifies(a, b));
+                }
+            });
+        }
+    });
+
+    let stats = checker.snapshot_stats();
+    assert_eq!(stats.lookups, (pairs.len() * WORKERS) as u64);
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+    // The core guarantee: zero duplicate verifications. Every miss beyond
+    // the first per pair coalesced onto the in-flight computation.
+    assert_eq!(
+        stats.verifications,
+        unique.len() as u64,
+        "duplicate signature verifications occurred"
+    );
+    assert_eq!(stats.entries, unique.len());
+    assert_eq!(stats.verifications + stats.coalesced_waits, stats.misses);
+    assert_eq!(stats.saved(), stats.lookups - stats.verifications);
+    assert!(stats.hit_rate() > 0.5, "hit rate {:.3}", stats.hit_rate());
+}

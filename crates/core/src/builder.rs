@@ -19,7 +19,7 @@
 //! - **backtracking** — whether a dead end (untrusted root, invalid
 //!   candidate) rolls back to try an alternative path (I-3).
 
-use crate::topology::IssuanceChecker;
+use crate::topology::{CacheStats, IssuanceChecker};
 use crate::validate::{validate_path, ValidationOptions};
 use ccc_asn1::Time;
 use ccc_netsim::AiaRepository;
@@ -219,6 +219,12 @@ pub struct BuildStats {
     pub aia_fetches: usize,
     /// Dead ends rolled back.
     pub backtracks: usize,
+    /// Shared signature-cache activity during this build (counter delta
+    /// from the context's [`IssuanceChecker`]; `entries` is not tracked
+    /// per build and stays 0). When the checker is shared across threads
+    /// the delta can include concurrent builds' lookups, so treat it as
+    /// attribution only for single-threaded use.
+    pub cache: CacheStats,
 }
 
 /// The result of one client's attempt on one served list.
@@ -240,13 +246,46 @@ impl BuildOutcome {
     }
 }
 
+/// Where a candidate issuer certificate came from.
+///
+/// Replaces the old sentinel scheme that packed provenance into a
+/// `list_pos: usize` (`usize::MAX - 1` = cache, `usize::MAX` =
+/// store/AIA). [`order_key`](CandidateOrigin::order_key) reproduces the
+/// sentinel total order exactly, so candidate ranking is unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CandidateOrigin {
+    /// From the served list, at this (deduplicated) position.
+    Served {
+        /// Position of the first occurrence in the served list.
+        list_pos: usize,
+    },
+    /// From the client's intermediate cache (Firefox-style).
+    Cache,
+    /// From the trust store.
+    Store,
+    /// Fetched via the AIA caIssuers URI.
+    Aia,
+}
+
+impl CandidateOrigin {
+    /// Tie-break ordering key: served positions first (in served order),
+    /// then cache, then store/AIA (which tie, as under the old sentinels
+    /// `usize::MAX - 1` and `usize::MAX`).
+    pub fn order_key(self) -> (u8, usize) {
+        match self {
+            CandidateOrigin::Served { list_pos } => (0, list_pos),
+            CandidateOrigin::Cache => (1, 0),
+            CandidateOrigin::Store | CandidateOrigin::Aia => (2, 0),
+        }
+    }
+}
+
 /// One candidate issuer under consideration.
 #[derive(Clone, Debug)]
 struct Candidate {
     cert: Certificate,
-    /// Served position, or `usize::MAX - 1` for cache and `usize::MAX`
-    /// for store/AIA certificates (they sort after list certs).
-    list_pos: usize,
+    /// Provenance (drives the last-resort ordering tie-break).
+    origin: CandidateOrigin,
     /// Exact membership in the trust store.
     trusted: bool,
 }
@@ -267,32 +306,38 @@ impl ChainEngine {
     /// Process a served certificate list: construct a path and validate it.
     pub fn process(&self, served: &[Certificate], ctx: &BuildContext<'_>) -> BuildOutcome {
         let mut stats = BuildStats::default();
+        let cache_before = ctx.checker.counters();
+        let (path, verdict) = self.process_inner(served, ctx, &mut stats);
+        stats.cache = ctx.checker.counters().since(&cache_before);
+        BuildOutcome {
+            path,
+            verdict,
+            stats,
+        }
+    }
+
+    /// [`process`](Self::process) body; the caller wraps it with the
+    /// signature-cache counter delta.
+    fn process_inner(
+        &self,
+        served: &[Certificate],
+        ctx: &BuildContext<'_>,
+        stats: &mut BuildStats,
+    ) -> (Vec<Certificate>, Result<(), ClientError>) {
         let p = &self.policy;
 
         if served.is_empty() {
-            return BuildOutcome {
-                path: Vec::new(),
-                verdict: Err(ClientError::EmptyList),
-                stats,
-            };
+            return (Vec::new(), Err(ClientError::EmptyList));
         }
         if let Some(limit) = p.max_list_len {
             if served.len() > limit {
-                return BuildOutcome {
-                    path: Vec::new(),
-                    verdict: Err(ClientError::TooManyCertificates),
-                    stats,
-                };
+                return (Vec::new(), Err(ClientError::TooManyCertificates));
             }
         }
         let leaf = served[0].clone();
         if !p.allow_self_signed_leaf && leaf.is_self_issued() && ctx.checker.signature_verifies(&leaf, &leaf)
         {
-            return BuildOutcome {
-                path: vec![leaf],
-                verdict: Err(ClientError::SelfSignedLeaf),
-                stats,
-            };
+            return (vec![leaf], Err(ClientError::SelfSignedLeaf));
         }
 
         // Candidate pool: deduplicated served list (+ cache). AIA-fetched
@@ -304,7 +349,7 @@ impl ChainEngine {
                 pool.push(Candidate {
                     trusted: ctx.store.contains(cert),
                     cert: cert.clone(),
-                    list_pos: pos,
+                    origin: CandidateOrigin::Served { list_pos: pos },
                 });
             }
         }
@@ -314,7 +359,7 @@ impl ChainEngine {
                     pool.push(Candidate {
                         trusted: ctx.store.contains(cert),
                         cert: cert.clone(),
-                        list_pos: usize::MAX - 1,
+                        origin: CandidateOrigin::Cache,
                     });
                 }
             }
@@ -325,7 +370,7 @@ impl ChainEngine {
             ctx,
             pool,
             seen,
-            stats: &mut stats,
+            stats,
             deepest: vec![leaf.clone()],
             first_error: None,
             expansions: 0,
@@ -338,16 +383,11 @@ impl ChainEngine {
         let first_error = search.first_error;
 
         match result {
-            Some(success_path) => BuildOutcome {
-                path: success_path,
-                verdict: Ok(()),
-                stats,
-            },
-            None => BuildOutcome {
-                path: deepest,
-                verdict: Err(first_error.unwrap_or(ClientError::NoIssuerFound)),
-                stats,
-            },
+            Some(success_path) => (success_path, Ok(())),
+            None => (
+                deepest,
+                Err(first_error.unwrap_or(ClientError::NoIssuerFound)),
+            ),
         }
     }
 
@@ -460,14 +500,14 @@ impl Search<'_, '_, '_> {
     /// Terminal validation once a trusted anchor tops the path.
     fn finish(
         &mut self,
-        path: &mut Vec<Certificate>,
+        path: &mut [Certificate],
         _on_path: &mut HashSet<CertificateFingerprint>,
         _depth: usize,
     ) -> Option<Vec<Certificate>> {
         let p = &self.engine.policy;
         let opts = self.engine.validation_options();
         match validate_path(path, self.ctx.store, self.ctx.now, self.ctx.checker, &opts) {
-            Ok(()) => Some(path.clone()),
+            Ok(()) => Some(path.to_vec()),
             Err(e) => {
                 self.note_error(e);
                 if p.backtracking {
@@ -505,14 +545,14 @@ impl Search<'_, '_, '_> {
                 // Sequential scan: candidates strictly after the current
                 // certificate's served position, in order; the parent test
                 // is the signature itself (partial validation).
-                let current_pos = self
+                let current_key = self
                     .pool
                     .iter()
                     .find(|c| c.cert == *current)
-                    .map(|c| c.list_pos)
-                    .unwrap_or(0);
+                    .map(|c| c.origin.order_key())
+                    .unwrap_or((0, 0));
                 for cand in &self.pool {
-                    if cand.list_pos <= current_pos
+                    if cand.origin.order_key() <= current_key
                         || on_path.contains(&cand.cert.fingerprint())
                     {
                         continue;
@@ -521,7 +561,7 @@ impl Search<'_, '_, '_> {
                         out.push(cand.clone());
                     }
                 }
-                out.sort_by_key(|c| c.list_pos);
+                out.sort_by_key(|c| c.origin.order_key());
             }
         }
 
@@ -531,7 +571,7 @@ impl Search<'_, '_, '_> {
         for root in self.ctx.store.find_by_subject(current.issuer()) {
             store_candidates.push(Candidate {
                 cert: root.clone(),
-                list_pos: usize::MAX,
+                origin: CandidateOrigin::Store,
                 trusted: true,
             });
         }
@@ -539,7 +579,7 @@ impl Search<'_, '_, '_> {
             for root in self.ctx.store.find_by_skid(akid) {
                 store_candidates.push(Candidate {
                     cert: root.clone(),
-                    list_pos: usize::MAX,
+                    origin: CandidateOrigin::Store,
                     trusted: true,
                 });
             }
@@ -690,7 +730,7 @@ impl Search<'_, '_, '_> {
             ku_rank,
             bc_rank,
             validity_key,
-            list_pos: cand.list_pos,
+            origin_key: cand.origin.order_key(),
         }
     }
 
@@ -710,7 +750,7 @@ impl Search<'_, '_, '_> {
         let candidate = Candidate {
             trusted: self.ctx.store.contains(&fetched),
             cert: fetched,
-            list_pos: usize::MAX,
+            origin: CandidateOrigin::Aia,
         };
         if self.seen.insert(candidate.cert.fingerprint()) {
             self.pool.push(candidate.clone());
@@ -727,7 +767,9 @@ struct CandidateKey {
     ku_rank: u8,
     bc_rank: u8,
     validity_key: (i64, i64, i64),
-    list_pos: usize,
+    /// [`CandidateOrigin::order_key`] — served order, then cache, then
+    /// store/AIA (the old sentinel order).
+    origin_key: (u8, usize),
 }
 
 #[cfg(test)]
@@ -858,6 +900,39 @@ mod tests {
         assert!(!outcome.accepted());
         // The deepest attempt (leaf + int) is surfaced for diagnostics.
         assert_eq!(outcome.path.len(), 2);
+    }
+
+    #[test]
+    fn candidate_origin_preserves_sentinel_order() {
+        // The legacy encoding: served pos < usize::MAX - 1 (cache)
+        // < usize::MAX (store/AIA, tied). order_key must reproduce it.
+        let served0 = CandidateOrigin::Served { list_pos: 0 };
+        let served9 = CandidateOrigin::Served { list_pos: 9 };
+        assert!(served0.order_key() < served9.order_key());
+        assert!(served9.order_key() < CandidateOrigin::Cache.order_key());
+        assert!(CandidateOrigin::Cache.order_key() < CandidateOrigin::Store.order_key());
+        assert_eq!(
+            CandidateOrigin::Store.order_key(),
+            CandidateOrigin::Aia.order_key()
+        );
+    }
+
+    #[test]
+    fn build_stats_expose_cache_delta() {
+        let p = pki();
+        let checker = IssuanceChecker::new();
+        let engine = ChainEngine::new(BuilderPolicy::full_capability("t"));
+        let served = vec![p.leaf.clone(), p.int.clone()];
+        let first = engine.process(&served, &ctx(&p, &checker));
+        assert!(first.accepted());
+        assert!(first.stats.cache.lookups > 0);
+        assert!(first.stats.cache.verifications > 0);
+        // Second build over the same chain: all lookups hit the cache.
+        let second = engine.process(&served, &ctx(&p, &checker));
+        assert!(second.accepted());
+        assert_eq!(second.stats.cache.verifications, 0);
+        assert_eq!(second.stats.cache.hits, second.stats.cache.lookups);
+        assert!(second.stats.cache.lookups > 0);
     }
 
     #[test]

@@ -99,7 +99,7 @@ impl DifferentialResult {
 }
 
 /// Aggregate over a corpus (the §5.2 headline numbers).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DifferentialReport {
     /// Served lists evaluated.
     pub total: usize,

@@ -31,13 +31,13 @@ pub mod report;
 pub mod topology;
 pub mod validate;
 
-pub use builder::{BuildContext, BuildOutcome, BuildStats, BuilderPolicy, ChainEngine, ClientError,
-    KidPriority, SearchScope, ValidityPriority};
+pub use builder::{BuildContext, BuildOutcome, BuildStats, BuilderPolicy, CandidateOrigin,
+    ChainEngine, ClientError, KidPriority, SearchScope, ValidityPriority};
 pub use clients::{client_profiles, ClientKind};
 pub use compliance::{analyze_compliance, ComplianceReport, NonCompliance};
 pub use completeness::{Completeness, CompletenessAnalysis, CompletenessAnalyzer, IncompleteReason};
 pub use differential::{DifferentialHarness, DifferentialReport, DifferentialResult, DiscrepancyCause};
 pub use leaf::{classify_leaf_placement, LeafPlacement};
 pub use order::{analyze_order, analyze_order_with_graph, OrderAnalysis};
-pub use topology::{IssuanceChecker, TopologyGraph};
+pub use topology::{CacheStats, IssuanceChecker, TopologyGraph};
 pub use validate::{validate_path, ValidationOptions};

@@ -112,6 +112,34 @@ pub fn check(b: bool) -> &'static str {
     }
 }
 
+/// One-line rendering of an [`IssuanceChecker`](crate::IssuanceChecker)
+/// [`CacheStats`](crate::topology::CacheStats) snapshot, e.g.:
+///
+/// ```text
+/// signature cache: 1,024 lookups, 960 hits (93.8%), 64 verified, 960 verifications saved
+/// ```
+///
+/// Used by the table/figure binaries and the CLI `matrix` command to show
+/// how much work the shared sharded cache avoided.
+pub fn render_cache_stats(stats: &crate::topology::CacheStats) -> String {
+    let mut line = format!(
+        "signature cache: {} lookups, {} hits ({:.1}%), {} verified, {} verifications saved",
+        group_thousands(stats.lookups as usize),
+        group_thousands(stats.hits as usize),
+        100.0 * stats.hit_rate(),
+        group_thousands(stats.verifications as usize),
+        group_thousands(stats.saved() as usize),
+    );
+    if stats.coalesced_waits > 0 {
+        let _ = write!(
+            line,
+            " ({} coalesced)",
+            group_thousands(stats.coalesced_waits as usize)
+        );
+    }
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +177,28 @@ mod tests {
     fn check_marks() {
         assert_eq!(check(true), "Y");
         assert_eq!(check(false), "x");
+    }
+
+    #[test]
+    fn cache_stats_line() {
+        let stats = crate::topology::CacheStats {
+            lookups: 1024,
+            hits: 960,
+            misses: 64,
+            verifications: 64,
+            coalesced_waits: 0,
+            entries: 64,
+        };
+        let line = render_cache_stats(&stats);
+        assert_eq!(
+            line,
+            "signature cache: 1,024 lookups, 960 hits (93.8%), 64 verified, \
+             960 verifications saved"
+        );
+        let contended = crate::topology::CacheStats {
+            coalesced_waits: 3,
+            ..stats
+        };
+        assert!(render_cache_stats(&contended).ends_with("(3 coalesced)"));
     }
 }

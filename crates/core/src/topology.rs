@@ -8,7 +8,82 @@
 
 use ccc_x509::{Certificate, CertificateFingerprint};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A (issuer fingerprint, subject fingerprint) cache key.
+type PairKey = (CertificateFingerprint, CertificateFingerprint);
+
+/// One lock-striped slice of the signature cache.
+///
+/// The value is an `Arc<OnceLock<bool>>` rather than a plain `bool` so the
+/// shard lock is held only for the map operation: the expensive Schnorr
+/// verification itself runs *outside* the lock, and `OnceLock` guarantees
+/// it runs at most once per pair even when several threads miss on the
+/// same key simultaneously (losers block on the winner's result instead of
+/// recomputing).
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<PairKey, Arc<OnceLock<bool>>>>,
+}
+
+/// Point-in-time counters from an [`IssuanceChecker`]
+/// (see [`IssuanceChecker::snapshot_stats`]).
+///
+/// Invariants (exact once all worker threads have been joined):
+/// - `hits + misses == lookups`
+/// - `verifications + coalesced_waits == misses`
+/// - `verifications == entries` (each unique pair is verified exactly once)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total `signature_verifies` calls.
+    pub lookups: u64,
+    /// Lookups answered from a completed cache entry.
+    pub hits: u64,
+    /// Lookups that did not find a completed entry (`lookups - hits`).
+    pub misses: u64,
+    /// Signature verifications actually executed (unique pairs).
+    pub verifications: u64,
+    /// Misses that waited on a verification already in flight on another
+    /// thread instead of recomputing (the duplicate work the old
+    /// double-lock design performed).
+    pub coalesced_waits: u64,
+    /// Memoized pairs currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Signature verifications avoided by memoization.
+    pub fn saved(&self) -> u64 {
+        self.lookups.saturating_sub(self.verifications)
+    }
+
+    /// Fraction of lookups answered from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Counter delta (`self` at a later time minus `earlier`); `entries`
+    /// is the later absolute value.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.saturating_sub(earlier.lookups),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            verifications: self.verifications.saturating_sub(earlier.verifications),
+            coalesced_waits: self.coalesced_waits.saturating_sub(earlier.coalesced_waits),
+            entries: self.entries,
+        }
+    }
+}
+
+/// Default shard count (power of two; tuned for up-to-16-thread corpus
+/// passes with headroom).
+const DEFAULT_SHARDS: usize = 64;
 
 /// Memoizing checker for the paper's issuance relationship.
 ///
@@ -20,15 +95,56 @@ use std::sync::Mutex;
 ///
 /// Signature verification is the expensive step, so results are memoized
 /// by certificate fingerprint pair; corpora share certificates heavily.
-#[derive(Debug, Default)]
+///
+/// The cache is **N-way sharded** (one mutex per shard, key → shard by
+/// fingerprint bits), so concurrent corpus workers sharing one checker do
+/// not serialize on a single lock, and the miss path is
+/// **single-acquisition**: the shard lock is taken once to install an
+/// in-flight slot, the verification runs outside the lock, and concurrent
+/// misses on the same pair coalesce onto one verification (see [`Shard`]).
+/// Hit/miss/verification counters are exposed via [`snapshot_stats`]
+/// (`IssuanceChecker::snapshot_stats`).
+#[derive(Debug)]
 pub struct IssuanceChecker {
-    sig_cache: Mutex<HashMap<(CertificateFingerprint, CertificateFingerprint), bool>>,
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; shard count is always a power of two.
+    mask: u64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    verifications: AtomicU64,
+    coalesced_waits: AtomicU64,
+}
+
+impl Default for IssuanceChecker {
+    fn default() -> IssuanceChecker {
+        IssuanceChecker::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl IssuanceChecker {
-    /// Fresh checker with an empty cache.
+    /// Fresh checker with an empty cache and the default shard count.
     pub fn new() -> IssuanceChecker {
         IssuanceChecker::default()
+    }
+
+    /// Fresh checker with `shards` lock stripes (rounded up to a power of
+    /// two, minimum 1). `with_shards(1)` is the single-mutex baseline the
+    /// benches compare against.
+    pub fn with_shards(shards: usize) -> IssuanceChecker {
+        let count = shards.max(1).next_power_of_two();
+        IssuanceChecker {
+            shards: (0..count).map(|_| Shard::default()).collect(),
+            mask: (count - 1) as u64,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            verifications: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Identity-level match: subject/issuer DN equality, or SKID/AKID
@@ -42,14 +158,53 @@ impl IssuanceChecker {
         dn_match || kid_match
     }
 
+    /// Shard selector: fingerprints are SHA-256 outputs, so any fixed bit
+    /// slice is uniformly distributed; mix both halves of the pair so
+    /// (A, B) and (B, A) land independently.
+    fn shard_for(&self, key: &PairKey) -> &Shard {
+        let a = u64::from_le_bytes(key.0 .0[..8].try_into().expect("32-byte fingerprint"));
+        let b = u64::from_le_bytes(key.1 .0[8..16].try_into().expect("32-byte fingerprint"));
+        let idx = (a ^ b.rotate_left(17)) & self.mask;
+        &self.shards[idx as usize]
+    }
+
     /// Cached signature check: does `issuer`'s key verify `subject`?
     pub fn signature_verifies(&self, issuer: &Certificate, subject: &Certificate) -> bool {
         let key = (issuer.fingerprint(), subject.fingerprint());
-        if let Some(&hit) = self.sig_cache.lock().unwrap().get(&key) {
-            return hit;
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_for(&key);
+
+        // Single lock acquisition: either read a completed entry, adopt an
+        // in-flight slot, or install a fresh slot to initialize ourselves.
+        let slot: Arc<OnceLock<bool>> = {
+            let mut map = shard.map.lock().expect("shard lock poisoned");
+            match map.get(&key) {
+                Some(slot) => {
+                    if let Some(&done) = slot.get() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return done;
+                    }
+                    Arc::clone(slot)
+                }
+                None => {
+                    let slot = Arc::new(OnceLock::new());
+                    map.insert(key, Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+
+        // Miss path, outside the lock. Exactly one thread runs the
+        // verification per pair; the rest block here and adopt its result.
+        let mut computed = false;
+        let result = *slot.get_or_init(|| {
+            computed = true;
+            self.verifications.fetch_add(1, Ordering::Relaxed);
+            subject.verify_signature_with(issuer.public_key())
+        });
+        if !computed {
+            self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
         }
-        let result = subject.verify_signature_with(issuer.public_key());
-        self.sig_cache.lock().unwrap().insert(key, result);
         result
     }
 
@@ -60,7 +215,36 @@ impl IssuanceChecker {
 
     /// Number of memoized signature checks.
     pub fn cache_size(&self) -> usize {
-        self.sig_cache.lock().unwrap().len()
+        self.shards
+            .iter()
+            .map(|s| s.map.lock().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Point-in-time counter snapshot. Exact once concurrent users have
+    /// been joined; monotone but possibly momentarily inconsistent while
+    /// other threads are mid-lookup.
+    pub fn snapshot_stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.cache_size(),
+            ..self.counters()
+        }
+    }
+
+    /// Counter-only snapshot: atomics only, no shard locks (`entries` is
+    /// left 0). Used on the per-build hot path where taking every shard
+    /// lock just to count entries would add contention.
+    pub(crate) fn counters(&self) -> CacheStats {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        CacheStats {
+            lookups,
+            hits,
+            misses: lookups.saturating_sub(hits),
+            verifications: self.verifications.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
+            entries: 0,
+        }
     }
 }
 

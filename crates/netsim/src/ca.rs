@@ -168,6 +168,7 @@ impl CaProfile {
     /// `no_akid_leaf_issuer` selects the intermediate variant without AKID
     /// for the bundle (used by the corpus to model terminal intermediates
     /// that cannot be matched to roots without AIA).
+    #[allow(clippy::too_many_arguments)]
     pub fn issue(
         &self,
         universe: &CaUniverse,

@@ -39,17 +39,14 @@ impl AttributeType {
     }
 
     fn from_oid(oid: &Oid) -> Option<AttributeType> {
-        for t in [
+        [
             AttributeType::CommonName,
             AttributeType::Country,
             AttributeType::Organization,
             AttributeType::OrganizationalUnit,
-        ] {
-            if t.oid() == oid {
-                return Some(t);
-            }
-        }
-        None
+        ]
+        .into_iter()
+        .find(|t| t.oid() == oid)
     }
 }
 

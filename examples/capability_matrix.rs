@@ -34,7 +34,7 @@ fn main() {
             .collect();
         let col =
             |f: &dyn Fn(&chain_chaos::testgen::CapabilityRow) -> String| -> Vec<String> {
-                evaluated.iter().map(|r| f(r)).collect()
+                evaluated.iter().map(f).collect()
             };
         vec![
             [vec!["Order Reorganization".to_string()], col(&|r| check(r.order_reorganization).to_string())].concat(),

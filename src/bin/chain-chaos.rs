@@ -196,15 +196,15 @@ fn run_engine(
     store: &RootStore,
     now: Time,
     domain: Option<&str>,
+    checker: &IssuanceChecker,
 ) -> (String, String) {
-    let checker = IssuanceChecker::new();
     let aia = AiaRepository::empty();
     let ctx = BuildContext {
         store,
         aia: Some(&aia),
         cache: &[],
         now,
-        checker: &checker,
+        checker,
     };
     let outcome = kind.engine().process(served, &ctx);
     let verdict = match &outcome.verdict {
@@ -251,7 +251,8 @@ fn cmd_build(args: &Args) -> Result<(), String> {
                 ClientKind::ALL.map(|k| k.name()).join(", ")
             )
         })?;
-    let (verdict, built) = run_engine(kind, &served, &store, now, args.opt("domain"));
+    let checker = IssuanceChecker::new();
+    let (verdict, built) = run_engine(kind, &served, &store, now, args.opt("domain"), &checker);
     println!("{}: {verdict}", kind.name());
     if !built.is_empty() {
         println!("constructed path: {built}");
@@ -268,11 +269,16 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
     let store = load_store(args)?;
     let now = parse_time(args)?;
     let mut table = TextTable::new("Client verdicts", &["Client", "Verdict", "Constructed path"]);
+    // One shared signature cache across all eight client profiles: each
+    // (issuer, subject) pair is verified once, later clients hit the cache.
+    let checker = IssuanceChecker::new();
     for kind in ClientKind::ALL {
-        let (verdict, built) = run_engine(kind, &served, &store, now, args.opt("domain"));
+        let (verdict, built) = run_engine(kind, &served, &store, now, args.opt("domain"), &checker);
         table.row(&[kind.name().to_string(), verdict, built]);
     }
     println!("{}", table.render());
+    let stats = checker.snapshot_stats();
+    println!("{}", chain_chaos::core::report::render_cache_stats(&stats));
     Ok(())
 }
 

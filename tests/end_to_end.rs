@@ -163,7 +163,7 @@ fn aia_completion_over_full_stack() {
     let leaf = chain_chaos::x509::CertificateBuilder::leaf_profile("lonely.sim")
         .aia_ca_issuers(int.aia_uri.clone())
         .issued_by(&kp.public, int.cert.subject().clone(), &int.keypair);
-    let received = loopback_roundtrip(&[leaf.clone()][..].to_vec().as_slice()).expect("handshake");
+    let received = loopback_roundtrip(std::slice::from_ref(&leaf)).expect("handshake");
     assert_eq!(received.len(), 1);
 
     let ctx = BuildContext {

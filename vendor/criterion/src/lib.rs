@@ -1,0 +1,357 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: `Criterion`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! calibrated-sample loop reporting min/median/max per iteration — enough
+//! for the repo's relative comparisons (e.g. sharded vs. single-mutex
+//! cache), without criterion's statistical machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Two-part benchmark identifier (`function_id/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("case", "client")` → `case/client`.
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Single-part id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// `cargo test` smoke mode: run the closure once, skip calibration.
+    test_mode: bool,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, test_mode: bool) -> Bencher {
+        Bencher {
+            sample_size,
+            test_mode,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Measure `f`, calibrating the per-sample iteration count so each
+    /// sample runs for roughly 5 ms (bounded to keep total time sane).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(f());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+            return;
+        }
+        // Calibrate: double iterations until a sample takes >= 5 ms.
+        let target = Duration::from_millis(5);
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 22 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn summary(&self) -> Option<(f64, f64, f64)> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        Some((sorted[0], median, *sorted.last().expect("non-empty")))
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput (printed next to timings).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches_filter(&full) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.sample_size, self.test_mode);
+        f(&mut bencher);
+        self.report(&full, &bencher);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches_filter(&full) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.sample_size, self.test_mode);
+        f(&mut bencher, input);
+        self.report(&full, &bencher);
+        self
+    }
+
+    fn report(&self, full: &str, bencher: &Bencher) {
+        let Some((min, median, max)) = bencher.summary() else {
+            println!("{full:<50} (no samples recorded)");
+            return;
+        };
+        let mut line = format!(
+            "{full:<50} time: [{} {} {}]",
+            human_time(min),
+            human_time(median),
+            human_time(max)
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+                let mbps = bytes as f64 / median * 1_000.0; // ns → MB/s
+                line.push_str(&format!("  thrpt: {mbps:.1} MB/s"));
+            }
+            Some(Throughput::Elements(elems)) if median > 0.0 => {
+                let eps = elems as f64 / median * 1_000_000_000.0;
+                line.push_str(&format!("  thrpt: {eps:.0} elem/s"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op hook).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Apply `cargo bench` command-line arguments (`--bench` is ignored;
+    /// the first free argument becomes a substring filter).
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => self.test_mode = true,
+                // Flags with a value we ignore.
+                "--sample-size" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(n) = v.parse::<usize>() {
+                            self.sample_size = n.max(1);
+                        }
+                    }
+                }
+                s if s.starts_with('-') => {}
+                s => {
+                    if self.filter.is_none() {
+                        self.filter = Some(s.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map(|f| full_name.contains(f))
+            .unwrap_or(true)
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name.clone())
+            .bench_function("base", f)
+            .finish();
+        self
+    }
+}
+
+/// Declare a group of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `fn main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(3, false);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples_ns.len(), 3);
+        let (min, median, max) = b.summary().unwrap();
+        assert!(min <= median && median <= max);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("case", "client").to_string(), "case/client");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+    }
+}
