@@ -1,0 +1,142 @@
+//! Machine-readable snapshot of the modular-exponentiation stack.
+//!
+//! Times the three arithmetic paths (schoolbook `modpow_naive`, the
+//! Montgomery fixed-window `MontgomeryCtx::modpow`, and the fixed-base
+//! generator tables used for `g^k`) on both group presets and writes
+//! `BENCH_modexp.json` (or the path given as the first CLI argument).
+//!
+//! The committed snapshot backs the perf table in README and the ≥5×
+//! (1536-bit modexp) / ≥10× (fixed-base `g^k`) acceptance thresholds;
+//! CI runs this binary in a smoke step to keep it from bit-rotting.
+//! Set `CCC_SNAPSHOT_ITERS` to raise the per-path iteration count for a
+//! lower-noise measurement.
+
+use ccc_bignum::{modpow_naive, FixedBaseTable, MontgomeryCtx, Uint};
+use ccc_crypto::{Drbg, Group};
+use std::time::Instant;
+
+struct PathTiming {
+    name: &'static str,
+    nanos_per_op: f64,
+}
+
+struct CaseResult {
+    label: &'static str,
+    modulus_bits: usize,
+    exponent_bits: usize,
+    iters: usize,
+    paths: Vec<PathTiming>,
+}
+
+fn time_path(iters: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup round, then the measured rounds.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn run_case(label: &'static str, group: &'static Group, iters: usize) -> CaseResult {
+    let ctx = MontgomeryCtx::new(&group.p).expect("group prime is odd");
+    let table = FixedBaseTable::new(&ctx, &group.g, group.q.bit_len());
+    let mut drbg = Drbg::from_u64(0xbe9c_4a11);
+    let exps: Vec<Uint> = (0..4)
+        .map(|_| {
+            Uint::from_bytes_be(&drbg.bytes(group.scalar_len))
+                .rem(&group.q)
+                .expect("q > 0")
+        })
+        .collect();
+
+    // The three paths must agree bit-for-bit before we time them.
+    for e in &exps {
+        let naive = modpow_naive(&group.g, e, &group.p).unwrap();
+        assert_eq!(ctx.modpow(&group.g, e), naive, "{label}: montgomery drift");
+        assert_eq!(table.pow(&ctx, e), naive, "{label}: fixed-base drift");
+    }
+
+    let per = |total: f64| total / exps.len() as f64;
+    let naive = per(time_path(iters, || {
+        for e in &exps {
+            std::hint::black_box(modpow_naive(&group.g, e, &group.p).unwrap());
+        }
+    }));
+    let montgomery = per(time_path(iters, || {
+        for e in &exps {
+            std::hint::black_box(ctx.modpow(&group.g, e));
+        }
+    }));
+    let fixed_base = per(time_path(iters, || {
+        for e in &exps {
+            std::hint::black_box(table.pow(&ctx, e));
+        }
+    }));
+
+    CaseResult {
+        label,
+        modulus_bits: group.p.bit_len(),
+        exponent_bits: group.q.bit_len(),
+        iters,
+        paths: vec![
+            PathTiming { name: "naive", nanos_per_op: naive },
+            PathTiming { name: "montgomery_window4", nanos_per_op: montgomery },
+            PathTiming { name: "fixed_base_table", nanos_per_op: fixed_base },
+        ],
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_modexp.json".to_string());
+    let iters: usize = std::env::var("CCC_SNAPSHOT_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20);
+
+    let results = [
+        run_case("sim256", Group::simulation_256(), iters * 8),
+        run_case("rfc3526_1536", Group::rfc3526_1536(), iters),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"modexp\",\n  \"unit\": \"ns_per_op\",\n  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let naive = r.paths[0].nanos_per_op;
+        json.push_str(&format!(
+            "    {{\n      \"label\": \"{}\",\n      \"modulus_bits\": {},\n      \"exponent_bits\": {},\n      \"iters\": {},\n      \"paths\": {{\n",
+            r.label, r.modulus_bits, r.exponent_bits, r.iters
+        ));
+        for (j, p) in r.paths.iter().enumerate() {
+            json.push_str(&format!(
+                "        \"{}\": {{ \"ns_per_op\": {:.0}, \"speedup_vs_naive\": {:.2} }}{}\n",
+                p.name,
+                p.nanos_per_op,
+                naive / p.nanos_per_op,
+                if j + 1 < r.paths.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("      }\n    }");
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+
+    for r in &results {
+        let naive = r.paths[0].nanos_per_op;
+        println!("{} ({}-bit modulus, {}-bit exponent):", r.label, r.modulus_bits, r.exponent_bits);
+        for p in &r.paths {
+            println!(
+                "  {:<20} {:>12.0} ns/op   {:>6.2}x vs naive",
+                p.name,
+                p.nanos_per_op,
+                naive / p.nanos_per_op
+            );
+        }
+    }
+    println!("wrote {out_path}");
+}

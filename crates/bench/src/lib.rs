@@ -9,6 +9,12 @@
 //! (or pass the count as the first CLI argument) to change it. The paper's
 //! absolute counts are for 906,336 chains; percentages are the comparable
 //! quantity.
+//!
+//! Thread control: worker count defaults to `available_parallelism`
+//! (capped at 16); set `CCC_THREADS` to pin it — e.g. `CCC_THREADS=1` for
+//! a deterministic single-threaded profile run, or a higher value on wide
+//! machines. Results are bit-identical for every thread count (partial
+//! summaries merge associatively).
 
 use ccc_core::clients::ClientKind;
 use ccc_core::completeness::RootResolution;
@@ -28,6 +34,23 @@ pub const DEFAULT_DOMAINS: usize = 100_000;
 
 /// The corpus seed used by every regeneration binary (the "scan").
 pub const SCAN_SEED: u64 = 833;
+
+/// Resolve the worker-thread count: `CCC_THREADS` env > detected
+/// parallelism (capped at 16). Values of 0 are treated as unset; the
+/// summaries are bit-identical regardless of the choice.
+pub fn threads_from_env() -> usize {
+    if let Some(n) = std::env::var("CCC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
 
 /// Resolve the corpus size: CLI arg > `CCC_DOMAINS` env > default.
 pub fn domains_from_env() -> usize {
@@ -140,13 +163,10 @@ impl CorpusSummary {
 
     /// [`compute`](Self::compute) against a caller-supplied shared checker
     /// (lets binaries reuse one cache across multiple passes and then read
-    /// [`IssuanceChecker::snapshot_stats`]).
+    /// [`IssuanceChecker::snapshot_stats`]). Worker count comes from
+    /// [`threads_from_env`] (`CCC_THREADS` override, else detected cores).
     pub fn compute_with_checker(corpus: &Corpus, checker: &IssuanceChecker) -> CorpusSummary {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16);
-        Self::compute_with_threads(corpus, checker, threads)
+        Self::compute_with_threads(corpus, checker, threads_from_env())
     }
 
     /// [`compute`](Self::compute) with an explicit worker count (testing
@@ -411,15 +431,13 @@ impl DifferentialSummary {
     }
 
     /// [`compute`](Self::compute) against a caller-supplied shared checker.
+    /// Worker count comes from [`threads_from_env`] (`CCC_THREADS`
+    /// override, else detected cores).
     pub fn compute_with_checker(
         corpus: &Corpus,
         checker: &IssuanceChecker,
     ) -> DifferentialSummary {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16);
-        Self::compute_with_threads(corpus, checker, threads)
+        Self::compute_with_threads(corpus, checker, threads_from_env())
     }
 
     /// [`compute`](Self::compute) with an explicit worker count.
@@ -573,6 +591,27 @@ mod tests {
         for (_, sc) in &s.store_completeness {
             assert!(sc.incomplete_with_aia >= s.unified_incomplete_with_aia);
         }
+    }
+
+    #[test]
+    fn threads_env_override_is_honored_and_result_invariant() {
+        // Env mutation is confined to this single test (no other test in
+        // the crate reads CCC_THREADS).
+        std::env::set_var("CCC_THREADS", "3");
+        assert_eq!(threads_from_env(), 3);
+        std::env::set_var("CCC_THREADS", "0"); // 0 = unset semantics
+        assert!(threads_from_env() >= 1);
+        std::env::set_var("CCC_THREADS", "nope"); // unparsable = unset
+        assert!(threads_from_env() >= 1);
+        std::env::remove_var("CCC_THREADS");
+        assert!(threads_from_env() >= 1);
+
+        // The summary must be bit-identical across worker counts.
+        let corpus = scan_corpus(600);
+        let checker = IssuanceChecker::new();
+        let one = CorpusSummary::compute_with_threads(&corpus, &checker, 1);
+        let four = CorpusSummary::compute_with_threads(&corpus, &checker, 4);
+        assert_eq!(one, four);
     }
 
     #[test]

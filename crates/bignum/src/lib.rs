@@ -1,17 +1,21 @@
 //! Arbitrary-precision unsigned integer arithmetic.
 //!
-//! This crate is the numeric substrate for `ccc-crypto`: it provides just
-//! enough big-integer machinery (schoolbook multiplication, Knuth-D
-//! division, modular exponentiation, Miller–Rabin primality) to implement a
-//! real discrete-log signature scheme for the synthetic Web PKI used by
-//! chain-chaos. It is deliberately simple and dependency-free rather than
-//! fast; the simulation uses a 256-bit group precisely so that this level of
-//! performance is sufficient.
+//! This crate is the numeric substrate for `ccc-crypto`: it provides the
+//! big-integer machinery (schoolbook multiplication, Knuth-D division,
+//! Montgomery-form modular exponentiation, Miller–Rabin primality) backing
+//! a real discrete-log signature scheme for the synthetic Web PKI used by
+//! chain-chaos. It stays dependency-free, but the hot path is engineered:
+//! [`modpow`] dispatches odd moduli to CIOS Montgomery multiplication with
+//! 4-bit fixed-window exponentiation, and [`FixedBaseTable`] provides
+//! Brauer fixed-base windowing for generators that are exponentiated
+//! millions of times per corpus pass (see `montgomery`).
 
 mod modular;
+mod montgomery;
 mod prime;
 mod uint;
 
-pub use modular::{modinv, modpow};
+pub use modular::{modinv, modpow, modpow_naive};
+pub use montgomery::{FixedBaseTable, MontElem, MontgomeryCtx};
 pub use prime::is_probable_prime;
 pub use uint::Uint;

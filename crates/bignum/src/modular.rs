@@ -1,12 +1,37 @@
 //! Modular exponentiation and inversion.
 
+use crate::montgomery::MontgomeryCtx;
 use crate::Uint;
 
-/// Compute `base^exp mod modulus` by square-and-multiply.
+/// Compute `base^exp mod modulus`.
+///
+/// Odd moduli (every modulus the crypto stack uses: safe primes and their
+/// subgroup orders) dispatch to Montgomery-form 4-bit fixed-window
+/// exponentiation ([`MontgomeryCtx::modpow`]); even moduli fall back to the
+/// schoolbook square-and-multiply path ([`modpow_naive`]). Both paths are
+/// exact, so results are bit-identical regardless of dispatch.
 ///
 /// Returns `None` when `modulus` is zero. `base^0 mod 1` is `0` (all values
 /// are congruent to 0 mod 1).
 pub fn modpow(base: &Uint, exp: &Uint, modulus: &Uint) -> Option<Uint> {
+    if modulus.is_zero() {
+        return None;
+    }
+    if modulus == &Uint::one() {
+        return Some(Uint::zero());
+    }
+    match MontgomeryCtx::new(modulus) {
+        Some(ctx) => Some(ctx.modpow(base, exp)),
+        None => modpow_naive(base, exp, modulus),
+    }
+}
+
+/// Bit-by-bit square-and-multiply with full `mul` + `div_rem` reduction at
+/// every step — the pre-Montgomery reference implementation.
+///
+/// Kept public for even moduli, the equivalence test-suite, and the
+/// `benches/modexp.rs` naive-vs-Montgomery comparison.
+pub fn modpow_naive(base: &Uint, exp: &Uint, modulus: &Uint) -> Option<Uint> {
     if modulus.is_zero() {
         return None;
     }

@@ -170,7 +170,20 @@ impl Uint {
         Uint { limbs }
     }
 
+    /// Little-endian limb view (crate-internal; used by the Montgomery
+    /// arithmetic layer, which works on raw limb vectors).
+    pub(crate) fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Build from little-endian limbs, normalizing trailing zeros
+    /// (crate-internal counterpart of [`limbs`](Self::limbs)).
+    pub(crate) fn from_limbs(limbs: Vec<u32>) -> Uint {
+        Uint::normalize(limbs)
+    }
+
     /// `self + other`.
+    #[must_use]
     pub fn add(&self, other: &Uint) -> Uint {
         let n = self.limbs.len().max(other.limbs.len());
         let mut out = Vec::with_capacity(n + 1);
@@ -189,6 +202,7 @@ impl Uint {
     }
 
     /// `self - other`, or `None` if the result would be negative.
+    #[must_use]
     pub fn checked_sub(&self, other: &Uint) -> Option<Uint> {
         if self < other {
             return None;
@@ -212,6 +226,7 @@ impl Uint {
     }
 
     /// `self * other` (schoolbook).
+    #[must_use]
     pub fn mul(&self, other: &Uint) -> Uint {
         if self.is_zero() || other.is_zero() {
             return Uint::zero();
@@ -236,6 +251,7 @@ impl Uint {
     }
 
     /// Shift left by `bits`.
+    #[must_use]
     pub fn shl(&self, bits: usize) -> Uint {
         if self.is_zero() {
             return Uint::zero();
@@ -258,6 +274,7 @@ impl Uint {
     }
 
     /// Shift right by `bits`.
+    #[must_use]
     pub fn shr(&self, bits: usize) -> Uint {
         let (limb_shift, bit_shift) = (bits / 32, bits % 32);
         if limb_shift >= self.limbs.len() {
@@ -279,6 +296,7 @@ impl Uint {
     ///
     /// Uses long division with Knuth's Algorithm D normalization for the
     /// multi-limb case.
+    #[must_use]
     pub fn div_rem(&self, divisor: &Uint) -> Option<(Uint, Uint)> {
         if divisor.is_zero() {
             return None;
@@ -362,16 +380,35 @@ impl Uint {
     }
 
     /// `self % modulus`; `None` when `modulus` is zero.
+    #[must_use]
     pub fn rem(&self, modulus: &Uint) -> Option<Uint> {
+        if modulus.limbs.len() == 1 {
+            return Some(Uint::from_u64(self.rem_u32(modulus.limbs[0]) as u64));
+        }
         self.div_rem(modulus).map(|(_, r)| r)
     }
 
+    /// `self mod d` for a single-limb divisor, by limb-wise folding —
+    /// no quotient is materialized. Panics when `d == 0` (matching the
+    /// `None`/`expect` contract of the multi-limb paths).
+    pub(crate) fn rem_u32(&self, d: u32) -> u32 {
+        assert!(d != 0, "division by zero");
+        let d = d as u64;
+        let mut r: u64 = 0;
+        for &limb in self.limbs.iter().rev() {
+            r = ((r << 32) | limb as u64) % d;
+        }
+        r as u32
+    }
+
     /// Modular addition: `(self + other) mod m`. Inputs need not be reduced.
+    #[must_use]
     pub fn add_mod(&self, other: &Uint, m: &Uint) -> Uint {
         self.add(other).rem(m).expect("modulus must be non-zero")
     }
 
     /// Modular subtraction: `(self - other) mod m`. Inputs need not be reduced.
+    #[must_use]
     pub fn sub_mod(&self, other: &Uint, m: &Uint) -> Uint {
         let a = self.rem(m).expect("modulus must be non-zero");
         let b = other.rem(m).expect("modulus must be non-zero");
@@ -383,7 +420,18 @@ impl Uint {
     }
 
     /// Modular multiplication: `(self * other) mod m`.
+    ///
+    /// Single-limb moduli take a fast path: both operands are folded to
+    /// `u32` residues first, so no full-width product or `div_rem` is ever
+    /// formed.
+    #[must_use]
     pub fn mul_mod(&self, other: &Uint, m: &Uint) -> Uint {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        if m.limbs.len() == 1 {
+            let d = m.limbs[0];
+            let prod = self.rem_u32(d) as u64 * other.rem_u32(d) as u64;
+            return Uint::from_u64(prod % d as u64);
+        }
         self.mul(other).rem(m).expect("modulus must be non-zero")
     }
 }

@@ -21,6 +21,8 @@ pub mod sha256;
 
 pub use drbg::Drbg;
 pub use hmac::hmac_sha256;
-pub use schnorr::{Group, KeyPair, PrivateKey, PublicKey, Signature};
+pub use schnorr::{
+    keypair_derivations, Group, GroupOps, KeyPair, PrivateKey, PublicKey, Signature,
+};
 pub use sha1::sha1;
 pub use sha256::sha256;

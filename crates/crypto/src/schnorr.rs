@@ -14,9 +14,27 @@
 use crate::drbg::Drbg;
 use crate::hmac::hmac_sha256;
 use crate::sha256::Sha256;
-use ccc_bignum::{modpow, Uint};
+use ccc_bignum::{FixedBaseTable, MontElem, MontgomeryCtx, Uint};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// Global count of key-pair derivations (scalar sampling + `g^x`).
+///
+/// Deriving a key is the most expensive primitive in the stack (one
+/// fixed-base exponentiation plus DRBG sampling), so callers that are
+/// supposed to memoize — the corpus generator's CA key tables — assert via
+/// [`keypair_derivations`] that repeated passes do not re-derive.
+static KEYPAIR_DERIVATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide number of [`KeyPair`] derivations performed so far.
+///
+/// Monotonic counter; meaningful as a *delta* around a workload. Used by
+/// `ccc-testgen` to pin the "each CA key is derived exactly once per
+/// corpus" memoization property.
+pub fn keypair_derivations() -> u64 {
+    KEYPAIR_DERIVATIONS.load(Ordering::Relaxed)
+}
 
 /// Identifies one of the built-in groups. Certificates record the group of
 /// their key so that mixed-group universes are representable.
@@ -43,6 +61,25 @@ pub struct Group {
     pub element_len: usize,
     /// Serialized length of scalars in bytes.
     pub scalar_len: usize,
+    /// Lazily-built Montgomery context + fixed-base generator tables
+    /// (see [`Group::ops`]).
+    ops: OnceLock<GroupOps>,
+}
+
+/// Per-group accelerated arithmetic, built once per process on first use.
+///
+/// `ctx` is the Montgomery context for the group prime `p`; `g_table` holds
+/// the Brauer fixed-base windowing tables for the generator `g` covering
+/// exponents up to `q.bit_len()` bits (every scalar in the scheme is
+/// `< q`). Together they make `g^k` a squaring-free table-lookup product,
+/// which is the dominant operation in keygen, signing, *and* the `g^s`
+/// half of verification.
+#[derive(Debug)]
+pub struct GroupOps {
+    /// Montgomery context for the group prime `p`.
+    pub ctx: MontgomeryCtx,
+    /// Fixed-base tables for the generator `g`.
+    pub g_table: FixedBaseTable,
 }
 
 impl Group {
@@ -68,6 +105,7 @@ impl Group {
                 g: Uint::from_u64(4),
                 element_len: 32,
                 scalar_len: 32,
+                ops: OnceLock::new(),
             }
         })
     }
@@ -96,6 +134,7 @@ impl Group {
                 g: Uint::from_u64(2),
                 element_len: 192,
                 scalar_len: 192,
+                ops: OnceLock::new(),
             }
         })
     }
@@ -106,6 +145,30 @@ impl Group {
             GroupId::Sim256 => Group::simulation_256(),
             GroupId::Rfc3526_1536 => Group::rfc3526_1536(),
         }
+    }
+
+    /// The accelerated-arithmetic bundle for this group, built on first
+    /// use (~30 KiB of tables for the 256-bit group, ~1.1 MiB for the
+    /// 1536-bit group) and shared by every key in the group thereafter.
+    pub fn ops(&self) -> &GroupOps {
+        self.ops.get_or_init(|| {
+            let ctx = MontgomeryCtx::new(&self.p)
+                .expect("group prime is odd and > 1");
+            let g_table = FixedBaseTable::new(&ctx, &self.g, self.q.bit_len());
+            GroupOps { ctx, g_table }
+        })
+    }
+
+    /// `g^k mod p` via the fixed-base tables (normal form).
+    pub fn pow_g(&self, k: &Uint) -> Uint {
+        let ops = self.ops();
+        ops.g_table.pow(&ops.ctx, k)
+    }
+
+    /// `g^k mod p` in Montgomery form (for callers that keep computing).
+    fn pow_g_mont(&self, k: &Uint) -> MontElem {
+        let ops = self.ops();
+        ops.g_table.pow_mont(&ops.ctx, k)
     }
 }
 
@@ -124,11 +187,31 @@ impl fmt::Debug for PrivateKey {
 }
 
 /// A Schnorr public key, `y = g^x mod p`.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct PublicKey {
     group: GroupId,
     /// `y` serialized big-endian, padded to the group element length.
     y_bytes: Vec<u8>,
+    /// Montgomery-form `y`, computed on first verification and reused for
+    /// every later one (verification keys — CA keys — are verified against
+    /// many times per corpus pass). Excluded from `Eq`/`Hash`: it is a pure
+    /// cache of `y_bytes`.
+    y_mont: OnceLock<MontElem>,
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.group == other.group && self.y_bytes == other.y_bytes
+    }
+}
+
+impl Eq for PublicKey {}
+
+impl std::hash::Hash for PublicKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.group.hash(state);
+        self.y_bytes.hash(state);
+    }
 }
 
 impl fmt::Debug for PublicKey {
@@ -182,6 +265,7 @@ impl Signature {
 impl KeyPair {
     /// Generate a key pair from a DRBG stream.
     pub fn generate(group: &Group, drbg: &mut Drbg) -> KeyPair {
+        KEYPAIR_DERIVATIONS.fetch_add(1, Ordering::Relaxed);
         loop {
             let candidate = Uint::from_bytes_be(&drbg.bytes(group.scalar_len));
             let x = candidate.rem(&group.q).expect("q is non-zero");
@@ -198,7 +282,8 @@ impl KeyPair {
     }
 
     fn from_scalar(group: &Group, x: Uint) -> KeyPair {
-        let y = modpow(&group.g, &x, &group.p).expect("p is non-zero");
+        // Fixed-base: g is exponentiated via the precomputed tables.
+        let y = group.pow_g(&x);
         let y_bytes = y
             .to_bytes_be_padded(group.element_len)
             .expect("y < p fits in element_len");
@@ -207,6 +292,7 @@ impl KeyPair {
             public: PublicKey {
                 group: group.id,
                 y_bytes,
+                y_mont: OnceLock::new(),
             },
         }
     }
@@ -242,7 +328,7 @@ impl PrivateKey {
             }
             k_seed = hmac_sha256(&x_bytes, &k_seed).to_vec();
         };
-        let r = modpow(&group.g, &k, &group.p).unwrap();
+        let r = group.pow_g(&k);
         let r_bytes = r.to_bytes_be_padded(group.element_len).unwrap();
         let mut h = Sha256::new();
         h.update(&r_bytes);
@@ -289,6 +375,7 @@ impl PublicKey {
         Some(PublicKey {
             group: group.id,
             y_bytes: bytes.to_vec(),
+            y_mont: OnceLock::new(),
         })
     }
 
@@ -303,12 +390,18 @@ impl PublicKey {
             return false;
         }
         let e_scalar = Uint::from_bytes_be(&signature.e).rem(&group.q).unwrap();
-        let y = Uint::from_bytes_be(&self.y_bytes);
-        // r' = g^s * y^(q - e) mod p   (y has order q, so y^-e = y^(q-e))
+        // r' = g^s * y^(q - e) mod p   (y has order q, so y^-e = y^(q-e)).
+        // All three operations stay in Montgomery form: g^s via the fixed-
+        // base tables, y^(q-e) from the cached Montgomery residue of y, and
+        // the final product converts back exactly once.
         let neg_e = group.q.checked_sub(&e_scalar).unwrap();
-        let gs = modpow(&group.g, &s, &group.p).unwrap();
-        let ye = modpow(&y, &neg_e, &group.p).unwrap();
-        let r = gs.mul_mod(&ye, &group.p);
+        let ops = group.ops();
+        let gs = group.pow_g_mont(&s);
+        let y_m = self
+            .y_mont
+            .get_or_init(|| ops.ctx.to_montgomery(&Uint::from_bytes_be(&self.y_bytes)));
+        let ye = ops.ctx.pow_mont(y_m, &neg_e);
+        let r = ops.ctx.from_montgomery(&ops.ctx.mul(&gs, &ye));
         let r_bytes = match r.to_bytes_be_padded(group.element_len) {
             Some(b) => b,
             None => return false,
@@ -323,6 +416,7 @@ impl PublicKey {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccc_bignum::modpow;
 
     #[test]
     fn sign_verify_roundtrip() {
@@ -423,6 +517,52 @@ mod tests {
         let sig = kp.private.sign(b"interop message");
         assert!(kp.public.verify(b"interop message", &sig));
         assert!(!kp.public.verify(b"tampered", &sig));
+    }
+
+    #[test]
+    fn pow_g_matches_generic_modpow() {
+        for group in [Group::simulation_256(), Group::rfc3526_1536()] {
+            for e in [
+                Uint::zero(),
+                Uint::one(),
+                Uint::from_u64(0xdead_beef_cafe_f00d),
+                group.q.checked_sub(&Uint::one()).unwrap(),
+            ] {
+                assert_eq!(
+                    group.pow_g(&e),
+                    modpow(&group.g, &e, &group.p).unwrap(),
+                    "{:?} e={e:?}",
+                    group.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn public_key_equality_ignores_mont_cache() {
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, b"cache-key");
+        let fresh = PublicKey::from_bytes(group, kp.public.as_bytes()).unwrap();
+        // Warm the Montgomery cache on one copy only.
+        let sig = kp.private.sign(b"warm");
+        assert!(kp.public.verify(b"warm", &sig));
+        assert_eq!(kp.public, fresh);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |k: &PublicKey| {
+            let mut s = DefaultHasher::new();
+            k.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&kp.public), h(&fresh));
+    }
+
+    #[test]
+    fn keypair_derivation_counter_increments() {
+        let group = Group::simulation_256();
+        let before = keypair_derivations();
+        let _ = KeyPair::from_seed(group, b"counted-key");
+        assert!(keypair_derivations() > before);
     }
 
     #[test]

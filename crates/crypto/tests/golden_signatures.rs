@@ -1,0 +1,136 @@
+//! Golden signature vectors.
+//!
+//! These vectors were produced by the *pre-Montgomery* implementation
+//! (bit-by-bit square-and-multiply with schoolbook reduction). The
+//! Montgomery/fixed-window/fixed-base stack performs the same exact
+//! integer arithmetic, so deterministic keygen and signing must reproduce
+//! them byte-for-byte, and verification must still accept — any drift here
+//! means the optimized arithmetic changed a result, not just its speed.
+
+use ccc_crypto::{Group, KeyPair, Signature};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    assert_eq!(s.len() % 2, 0);
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+struct GoldenVector {
+    group: &'static str,
+    seed: &'static [u8],
+    message: &'static [u8],
+    public: &'static str,
+    signature: &'static str,
+}
+
+const VECTORS: &[GoldenVector] = &[
+    GoldenVector {
+        group: "sim256",
+        seed: b"golden-key-1",
+        message: b"golden message one",
+        public: "57cffb1bcf0501870e0a1b9b65edeb7dc571a0cd4a3047dcb2311993efe53314",
+        signature: "38a527047b363fc2e3f6b11c4a61e4e077087e0f569051bdaedf7778a4fb640b\
+                    132163a43d62f0f81ab2ad149bf55b1e1d53a911930b8388d46b642149fe16b7",
+    },
+    GoldenVector {
+        group: "sim256",
+        seed: b"golden-key-2",
+        message: b"chain-chaos golden vector",
+        public: "d8e53262263edeff0bf298c0392c3f28d7df08c91349bcf5dd831a184a5ade2d",
+        signature: "eb6b11bf51e5b0c4b3245ffaa598455c571f2026eb5baaa815f6b9600ecfb636\
+                    5ee31d37ab56fcfe4cf0c4c86579f8946ca923be05ebadfa548ed42363ea9580",
+    },
+    GoldenVector {
+        group: "rfc3526",
+        seed: b"golden-key-1",
+        message: b"golden message one",
+        public: "9b8faa59c72c1821d460e0ddbe9848b2e341a04bd01aa917584d508a2f562ac9\
+                 9d6031a2988fe58c9bd92d42fc4c8fbb762c8f9e45f190573848d2eb53f5c6bb\
+                 d9b82c3684d2f97799027778504f73c29f36e6641fe5d69f198d533033657e07\
+                 75a3967ac2139fbbb636fde61972b1558551d1935c08814f4bdeb75d1407ee20\
+                 557394f6b90f731ec0770bf5e0883b68d3b298cdf2864404e471a0534924a6eb\
+                 ddb89382026260110e4e0d306e04a426c681a8a0b62f436bb8290ca35199ae22",
+        signature: "74026bc6e3cd990317abcec422568de54feaa027ed7fe0b1ccb544c107b938bf\
+                    3b1c993989377fbf6bd2cbe9615b9b2e34c8799ffbb724d0eee6a0c6fd83a6e6\
+                    dd79c95d31c7d4d3ef082079b9f963cce244fdffa8de01216e1caa7744b6c31d\
+                    7476aa30dce2fc64d6771e3a9e96818418836803f504c60943fb4532f7620691\
+                    8c19f8b3cbdefb78fe804b180f80bf1de7afc2e3b76e248963b532ed6246b19d\
+                    cda0a05ab4a529a2fba1778ba68d65f1942d31ce3e97e0ff68e4a8d09f17e21d\
+                    eec4362facbcf384d91a23d7fe1f6ae6cc09c8c6c47aadafac71b2eb335a2a0e",
+    },
+    GoldenVector {
+        group: "rfc3526",
+        seed: b"golden-key-2",
+        message: b"chain-chaos golden vector",
+        public: "d5c15aaa458b765e87060e12358c63424bab0d6359be8fe1fdea6d446f022742\
+                 ee17afeaecdf6079e465222c0b8bde736918c45262d6ab83502c2196c39e11bc\
+                 5c55c3514b14159359d798fc691ab6ee9b1c6c35a2776e156958c6c027bb9bd7\
+                 d16736ef7f224ebce78507efccf80e46749414b11fa1185e6ecc22ac2fe45d3b\
+                 b8ff6ed35aa6a2f1c4371fa203fc40350ec97635c92096e5e0b240bb2977cb80\
+                 10e4435f89cc6bb337289af7fa6f4d36e799ad18df1fee3940708e3bab284a83",
+        signature: "7dc0e9f68e6a7a6809094f8b8dfa90c54bb77373b13056c80976ea3fdf05b69c\
+                    76ed0be955409a1e38b19918185240223645abd3b414cfc623ff2591a20e815b\
+                    065953414089cc4faa381c92666f36575a2f07774fe69e6b760195031565980c\
+                    f7d28ba5f54e764f2f37c17877a6f640455ad9b3c4c88931b5e9d976a1a1a435\
+                    7cd39fd1ab345416595a126d811f4b6a19959a70e4e3831189be1b321868f276\
+                    93a5fb622280e1271354eeec3495b9e034f03c84382572b2ac54a175687f1693\
+                    6ece7c6077f973d473a30a12a2679101487fab809064c4179503f2a336709644",
+    },
+];
+
+fn group_by_name(name: &str) -> &'static Group {
+    match name {
+        "sim256" => Group::simulation_256(),
+        "rfc3526" => Group::rfc3526_1536(),
+        other => panic!("unknown group {other}"),
+    }
+}
+
+#[test]
+fn deterministic_keygen_reproduces_golden_public_keys() {
+    for v in VECTORS {
+        let group = group_by_name(v.group);
+        let kp = KeyPair::from_seed(group, v.seed);
+        assert_eq!(
+            hex(kp.public.as_bytes()),
+            v.public.replace(char::is_whitespace, ""),
+            "{} / {:?}",
+            v.group,
+            String::from_utf8_lossy(v.seed)
+        );
+    }
+}
+
+#[test]
+fn deterministic_signing_reproduces_golden_signatures() {
+    for v in VECTORS {
+        let group = group_by_name(v.group);
+        let kp = KeyPair::from_seed(group, v.seed);
+        let sig = kp.private.sign(v.message);
+        assert_eq!(
+            hex(&sig.to_bytes()),
+            v.signature.replace(char::is_whitespace, ""),
+            "{} / {:?}",
+            v.group,
+            String::from_utf8_lossy(v.seed)
+        );
+    }
+}
+
+#[test]
+fn golden_signatures_still_verify() {
+    for v in VECTORS {
+        let group = group_by_name(v.group);
+        let kp = KeyPair::from_seed(group, v.seed);
+        let sig_bytes = unhex(&v.signature.replace(char::is_whitespace, ""));
+        let sig = Signature::from_bytes(&sig_bytes, group.scalar_len).unwrap();
+        assert!(kp.public.verify(v.message, &sig), "{}", v.group);
+        assert!(!kp.public.verify(b"tampered", &sig));
+    }
+}

@@ -20,6 +20,7 @@ use ccc_netsim::httpserver::{DeployError, HttpServerKind};
 use ccc_netsim::AiaRepository;
 use ccc_rootstore::{CaUniverse, RootPrograms};
 use ccc_x509::{Certificate, CertificateBuilder, DistinguishedName};
+use std::collections::HashMap;
 
 /// The simulated scan date (all validity sampling is relative to this).
 pub fn scan_time() -> Time {
@@ -191,6 +192,14 @@ pub struct Corpus {
     /// two-intermediates-missing incompletes. Fields: (DN, keypair,
     /// certificate, AIA publication URI).
     sub_cas: Vec<(ccc_x509::DistinguishedName, KeyPair, Certificate, String)>,
+    /// Memoized CA key material: issuing-intermediate key pairs keyed by
+    /// subject DN. Built once at construction so the per-rank hot paths
+    /// (`intermediate_keypair` in stale-leaf / incomplete generation)
+    /// never re-scan the universe or re-derive keys from seed.
+    int_keys_by_subject: HashMap<DistinguishedName, KeyPair>,
+    /// Root index keyed by root subject DN: replaces the per-rank
+    /// whole-certificate equality scans over `universe.roots`.
+    root_index_by_subject: HashMap<DistinguishedName, usize>,
     master: Drbg,
 }
 
@@ -259,6 +268,15 @@ impl Corpus {
                 (dn, kp, cert, uri)
             })
             .collect();
+        let mut int_keys_by_subject = HashMap::new();
+        let mut root_index_by_subject = HashMap::new();
+        for (ri, root) in universe.roots.iter().enumerate() {
+            root_index_by_subject.insert(root.cert.subject().clone(), ri);
+            for int in &root.intermediates {
+                int_keys_by_subject
+                    .insert(int.cert.subject().clone(), int.keypair.clone());
+            }
+        }
         Corpus {
             universe,
             programs,
@@ -268,6 +286,8 @@ impl Corpus {
             ca_weights,
             leaf_keys,
             sub_cas,
+            int_keys_by_subject,
+            root_index_by_subject,
             master,
         }
     }
@@ -380,14 +400,7 @@ impl Corpus {
         ) && served.last() == Some(&bundle.intermediate)
             && drbg.chance(self.spec.root_included_rate)
         {
-            let root_cert = self.universe.roots[self
-                .universe
-                .roots
-                .iter()
-                .position(|r| r.cert == bundle.root)
-                .expect("root from universe")]
-            .cert
-            .clone();
+            let root_cert = self.universe.roots[self.root_index(&bundle.root)].cert.clone();
             served.push(root_cert);
         }
 
@@ -548,7 +561,7 @@ impl Corpus {
                             bundle.intermediate.subject().clone(),
                             // Same issuing CA re-signed older leaves: reuse
                             // the intermediate key through the universe.
-                            &self.intermediate_keypair(bundle),
+                            self.intermediate_keypair(bundle),
                         );
                     old.push(old_leaf);
                 }
@@ -601,12 +614,7 @@ impl Corpus {
                 if variant == 1 {
                     // Two missing intermediates: leaf under the sub-CA,
                     // neither the sub-CA nor the intermediate served.
-                    let root_idx = self
-                        .universe
-                        .roots
-                        .iter()
-                        .position(|r| r.cert == bundle.root)
-                        .expect("root from universe");
+                    let root_idx = self.root_index(&bundle.root);
                     let (sub_dn, sub_kp, _, sub_uri) = &self.sub_cas[root_idx];
                     let leaf = b
                         .aia_ca_issuers(sub_uri.clone())
@@ -618,7 +626,7 @@ impl Corpus {
                 }
                 let int_kp = self.intermediate_keypair(bundle);
                 let leaf =
-                    b.issued_by(&kp.public, bundle.intermediate.subject().clone(), &int_kp);
+                    b.issued_by(&kp.public, bundle.intermediate.subject().clone(), int_kp);
                 return (vec![leaf], false);
             }
         }
@@ -670,10 +678,9 @@ impl Corpus {
         // Find a cross pair under this bundle's CA if one exists;
         // otherwise fall back to any cross pair (rare path).
         let root_idx = self
-            .universe
-            .roots
-            .iter()
-            .position(|r| r.cert == bundle.root)
+            .root_index_by_subject
+            .get(bundle.root.subject())
+            .copied()
             .unwrap_or(0);
         let pair = self
             .universe
@@ -708,12 +715,7 @@ impl Corpus {
         bundle: &ccc_netsim::ca::IssuedBundle,
         drbg: &mut Drbg,
     ) -> Vec<Certificate> {
-        let root_idx = self
-            .universe
-            .roots
-            .iter()
-            .position(|r| r.cert == bundle.root)
-            .expect("root from universe");
+        let root_idx = self.root_index(&bundle.root);
         let (sub_dn, sub_kp, sub_cert, _) = &self.sub_cas[root_idx];
         let int0 = &self.universe.roots[root_idx].intermediates[0];
         let kp = &self.leaf_keys[drbg.below(self.leaf_keys.len() as u64) as usize];
@@ -730,15 +732,21 @@ impl Corpus {
         }
     }
 
-    fn intermediate_keypair(&self, bundle: &ccc_netsim::ca::IssuedBundle) -> KeyPair {
-        for root in &self.universe.roots {
-            for int in &root.intermediates {
-                if int.cert.subject() == bundle.intermediate.subject() {
-                    return int.keypair.clone();
-                }
-            }
-        }
-        unreachable!("bundle intermediate always from the universe")
+    /// Memoized lookup of the issuing intermediate's key pair (keys are
+    /// derived once at construction; per-rank paths only borrow).
+    fn intermediate_keypair(&self, bundle: &ccc_netsim::ca::IssuedBundle) -> &KeyPair {
+        self.int_keys_by_subject
+            .get(bundle.intermediate.subject())
+            .expect("bundle intermediate always from the universe")
+    }
+
+    /// Memoized root-certificate → universe-index lookup (subject DNs are
+    /// unique per root; avoids whole-certificate equality scans per rank).
+    fn root_index(&self, root_cert: &Certificate) -> usize {
+        *self
+            .root_index_by_subject
+            .get(root_cert.subject())
+            .expect("root from universe")
     }
 
     fn foreign_chain(&self, rank: usize, drbg: &mut Drbg) -> Vec<Certificate> {

@@ -1,0 +1,43 @@
+//! Key-derivation memoization: a corpus pass must not re-derive CA keys.
+//!
+//! `Corpus::new` derives every CA / intermediate / sub-CA / leaf key pair
+//! exactly once (through `CaUniverse::generate` and the corpus caches).
+//! The per-rank generation paths — stale leaves, incomplete chains,
+//! multi-path, deep-reversed — only *borrow* those keys. This test pins
+//! that property with the global derivation counter: generating 1k domain
+//! observations performs zero additional keypair derivations.
+//!
+//! Kept as its own integration-test binary so no concurrently running test
+//! can bump the process-global counter mid-measurement.
+
+use ccc_crypto::keypair_derivations;
+use ccc_testgen::{Corpus, CorpusSpec};
+
+#[test]
+fn thousand_domain_pass_derives_each_ca_key_once() {
+    let corpus = Corpus::new(CorpusSpec::calibrated(42, 1000));
+    let after_construction = keypair_derivations();
+    assert!(
+        after_construction > 0,
+        "corpus construction must derive the universe's keys"
+    );
+
+    // Full 1k-domain pass: every defect path, including the ones that
+    // historically re-derived intermediate keys per rank.
+    let mut served_total = 0usize;
+    corpus.for_each(|obs| served_total += obs.served.len());
+    assert!(served_total > 0);
+
+    assert_eq!(
+        keypair_derivations(),
+        after_construction,
+        "observation pass must not derive any new key pairs"
+    );
+
+    // A second corpus with the same spec derives the same number of keys
+    // again (once per key, not once per domain): the per-corpus cost is
+    // independent of how many observations are drawn afterwards.
+    let _corpus2 = Corpus::new(CorpusSpec::calibrated(42, 1000));
+    let after_second = keypair_derivations();
+    assert_eq!(after_second - after_construction, after_construction);
+}
