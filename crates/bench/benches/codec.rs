@@ -19,7 +19,7 @@ fn bench_der(c: &mut Criterion) {
     let mut group = c.benchmark_group("der");
     group.throughput(Throughput::Bytes(der.len() as u64));
     group.bench_function("parse_certificate", |b| {
-        b.iter(|| Certificate::from_der(std::hint::black_box(&der)).unwrap())
+        b.iter(|| Certificate::from_der(std::hint::black_box(&der)).expect("valid DER"))
     });
     group.bench_function("encode_tbs", |b| {
         b.iter(|| std::hint::black_box(cert.tbs().to_der()))
@@ -30,14 +30,14 @@ fn bench_der(c: &mut Criterion) {
 fn bench_tls_framing(c: &mut Criterion) {
     let cert = test_cert();
     let chain = vec![cert.clone(), cert.clone(), cert];
-    let msg = tlsmsg::encode_tls12(&chain).unwrap();
+    let msg = tlsmsg::encode_tls12(&chain).expect("chain fits TLS framing");
     let mut group = c.benchmark_group("tls_framing");
     group.throughput(Throughput::Bytes(msg.len() as u64));
     group.bench_function("encode_tls12", |b| {
-        b.iter(|| tlsmsg::encode_tls12(std::hint::black_box(&chain)).unwrap())
+        b.iter(|| tlsmsg::encode_tls12(std::hint::black_box(&chain)).expect("chain fits TLS framing"))
     });
     group.bench_function("decode_tls12", |b| {
-        b.iter(|| tlsmsg::decode_tls12(std::hint::black_box(&msg)).unwrap())
+        b.iter(|| tlsmsg::decode_tls12(std::hint::black_box(&msg)).expect("valid framing"))
     });
     group.finish();
 }

@@ -77,7 +77,7 @@ fn long_chain(env: &Env, total: usize) -> Vec<Certificate> {
 fn bench_clients(c: &mut Criterion) {
     let env = env();
     let checker = IssuanceChecker::new();
-    let now = Time::from_ymd(2024, 7, 1).unwrap();
+    let now = Time::from_ymd(2024, 7, 1).expect("literal date is valid");
     let cases = [
         ("compliant_2", compliant_chain(&env)),
         ("reversed_3", reversed_chain(&env)),
@@ -113,7 +113,7 @@ fn bench_cold_vs_warm_cache(c: &mut Criterion) {
     // the same chain should be much cheaper.
     let env = env();
     let served = long_chain(&env, 10);
-    let now = Time::from_ymd(2024, 7, 1).unwrap();
+    let now = Time::from_ymd(2024, 7, 1).expect("literal date is valid");
     let engine = ClientKind::Chrome.engine();
     let mut group = c.benchmark_group("signature_memoization");
     group.sample_size(20);

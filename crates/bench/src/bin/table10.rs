@@ -7,6 +7,9 @@ use ccc_bench::{domains_from_env, scan_corpus, server_columns, CorpusSummary};
 use ccc_core::IssuanceChecker;
 use ccc_core::report::{TextTable, count_pct, render_cache_stats};
 
+/// A defect-count projection used for table rows.
+type CountFn<'a> = &'a dyn Fn(&ccc_bench::DefectCounts) -> usize;
+
 fn main() {
     let domains = domains_from_env();
     eprintln!("scanning {domains} synthetic domains…");
@@ -23,16 +26,15 @@ fn main() {
         &header,
     );
 
-    let metric =
-        |f: &dyn Fn(&ccc_bench::DefectCounts) -> usize| -> (Vec<usize>, usize) {
-            let counts: Vec<usize> = columns
-                .iter()
-                .map(|c| s.by_server.get(c).map(|d| f(d)).unwrap_or(0))
-                .collect();
-            let total = counts.iter().sum();
-            (counts, total)
-        };
-    let rows: Vec<(&str, &dyn Fn(&ccc_bench::DefectCounts) -> usize)> = vec![
+    let metric = |f: CountFn<'_>| -> (Vec<usize>, usize) {
+        let counts: Vec<usize> = columns
+            .iter()
+            .map(|c| s.by_server.get(c).map(f).unwrap_or(0))
+            .collect();
+        let total = counts.iter().sum();
+        (counts, total)
+    };
+    let rows: Vec<(&str, CountFn<'_>)> = vec![
         ("Overview (any)", &|d| d.any),
         ("Duplicate Certificates", &|d| d.duplicates),
         ("Duplicate Leaf", &|d| d.duplicate_leaf),

@@ -18,6 +18,9 @@ const CA_ORDER: [&str; 9] = [
     "Other CAs",
 ];
 
+/// A defect-count projection used for table rows.
+type CountFn<'a> = &'a dyn Fn(&ccc_bench::DefectCounts) -> usize;
+
 fn main() {
     let domains = domains_from_env();
     eprintln!("scanning {domains} synthetic domains…");
@@ -31,7 +34,7 @@ fn main() {
         "Table 11 — CAs / resellers of non-compliant chains (% of that CA's issuance)",
         &header,
     );
-    let rows: Vec<(&str, &dyn Fn(&ccc_bench::DefectCounts) -> usize)> = vec![
+    let rows: Vec<(&str, CountFn<'_>)> = vec![
         ("Non-compliant", &|d| d.any),
         ("Duplicate Certificates", &|d| d.duplicates),
         ("Irrelevant Certificates", &|d| d.irrelevant),

@@ -18,8 +18,8 @@ fn main() {
         &universe,
         0,
         "probe.sim",
-        Time::from_ymd(2024, 1, 1).unwrap(),
-        Time::from_ymd(2025, 1, 1).unwrap(),
+        Time::from_ymd(2024, 1, 1).expect("literal date is valid"),
+        Time::from_ymd(2025, 1, 1).expect("literal date is valid"),
         &mut Drbg::from_u64(1),
         false,
     );

@@ -583,12 +583,12 @@ mod tests {
         // Non-compliance is a small minority.
         assert!(s.noncompliant < 50, "{}", s.noncompliant);
         // Table 8 monotonicity: no store does better without AIA.
-        for (_, sc) in &s.store_completeness {
+        for sc in s.store_completeness.values() {
             assert!(sc.incomplete_without_aia >= sc.incomplete_with_aia);
         }
         assert!(s.unified_incomplete_without_aia >= s.unified_incomplete_with_aia);
         // Per-store incompleteness is at least the unified baseline.
-        for (_, sc) in &s.store_completeness {
+        for sc in s.store_completeness.values() {
             assert!(sc.incomplete_with_aia >= s.unified_incomplete_with_aia);
         }
     }

@@ -87,7 +87,7 @@ pub fn modinv(a: &Uint, m: &Uint) -> Option<Uint> {
     let (val, neg) = t0;
     let val = val.rem(m)?;
     Some(if neg && !val.is_zero() {
-        m.checked_sub(&val).unwrap()
+        m.checked_sub(&val).expect("val reduced mod m, so m - val cannot underflow")
     } else {
         val
     })
@@ -99,7 +99,7 @@ fn signed_sub(a: &(Uint, bool), b: &(Uint, bool)) -> (Uint, bool) {
         // a - b where both non-negative
         (false, false) => match a.0.checked_sub(&b.0) {
             Some(d) => (d, false),
-            None => (b.0.checked_sub(&a.0).unwrap(), true),
+            None => (b.0.checked_sub(&a.0).expect("b >= a when a - b underflows"), true),
         },
         // (-a) - b = -(a + b)
         (true, false) => (a.0.add(&b.0), true),
@@ -108,7 +108,7 @@ fn signed_sub(a: &(Uint, bool), b: &(Uint, bool)) -> (Uint, bool) {
         // (-a) - (-b) = b - a
         (true, true) => match b.0.checked_sub(&a.0) {
             Some(d) => (d, false),
-            None => (a.0.checked_sub(&b.0).unwrap(), true),
+            None => (a.0.checked_sub(&b.0).expect("a >= b when b - a underflows"), true),
         },
     }
 }

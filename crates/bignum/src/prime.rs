@@ -20,12 +20,12 @@ pub fn is_probable_prime(n: &Uint) -> bool {
         if n == &b {
             return true;
         }
-        if n.rem(&b).unwrap().is_zero() {
+        if n.rem(&b).expect("base is non-zero").is_zero() {
             return false;
         }
     }
     // Write n-1 = d * 2^r with d odd.
-    let n_minus_1 = n.checked_sub(&Uint::one()).unwrap();
+    let n_minus_1 = n.checked_sub(&Uint::one()).expect("n > 1 here");
     let mut d = n_minus_1.clone();
     let mut r = 0usize;
     while !d.is_odd() {
@@ -34,7 +34,7 @@ pub fn is_probable_prime(n: &Uint) -> bool {
     }
     'witness: for &b in &BASES {
         let a = Uint::from_u64(b);
-        let mut x = modpow(&a, &d, n).unwrap();
+        let mut x = modpow(&a, &d, n).expect("modulus n is non-zero");
         if x == Uint::one() || x == n_minus_1 {
             continue;
         }

@@ -319,7 +319,7 @@ impl Uint {
         }
 
         // Knuth Algorithm D.
-        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let shift = divisor.limbs.last().expect("divisor is normalized and non-zero").leading_zeros() as usize;
         let v = divisor.shl(shift);
         let mut u = self.shl(shift).limbs;
         let n = v.limbs.len();
@@ -413,9 +413,9 @@ impl Uint {
         let a = self.rem(m).expect("modulus must be non-zero");
         let b = other.rem(m).expect("modulus must be non-zero");
         if a >= b {
-            a.checked_sub(&b).unwrap()
+            a.checked_sub(&b).expect("a >= b checked above")
         } else {
-            a.add(m).checked_sub(&b).unwrap()
+            a.add(m).checked_sub(&b).expect("a + m >= b since b < m")
         }
     }
 

@@ -20,7 +20,7 @@ fn odd_modulus(bytes: &[u8]) -> Uint {
     if m.is_empty() {
         m.push(3);
     }
-    *m.last_mut().unwrap() |= 1; // odd
+    *m.last_mut().expect("m is non-empty") |= 1; // odd
     let m = uint(&m);
     if m <= Uint::one() {
         Uint::from_u64(3)

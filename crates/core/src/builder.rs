@@ -197,6 +197,7 @@ impl fmt::Display for ClientError {
 }
 
 /// Everything a build needs besides the served list.
+#[derive(Clone, Copy, Debug)]
 pub struct BuildContext<'a> {
     /// The client's trust store.
     pub store: &'a RootStore,

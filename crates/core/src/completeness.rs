@@ -75,6 +75,7 @@ pub struct CompletenessAnalysis {
 }
 
 /// Analyzer bundling the trust store and (optional) AIA repository.
+#[derive(Clone, Copy, Debug)]
 pub struct CompletenessAnalyzer<'a> {
     checker: &'a IssuanceChecker,
     store: &'a RootStore,

@@ -157,6 +157,7 @@ impl DifferentialReport {
 }
 
 /// The harness: eight engines plus the shared environment.
+#[derive(Debug)]
 pub struct DifferentialHarness<'a> {
     clients: Vec<(ClientKind, crate::builder::ChainEngine)>,
     store: &'a RootStore,

@@ -173,7 +173,7 @@ mod tests {
         let a = analyze_order(&[c.leaf.clone(), c.int.clone()], &checker);
         assert!(a.is_compliant(), "{a:?}");
         // Lone leaf is order-compliant (completeness is a separate check).
-        let a = analyze_order(&[c.leaf.clone()], &checker);
+        let a = analyze_order(std::slice::from_ref(&c.leaf), &checker);
         assert!(a.is_compliant(), "{a:?}");
     }
 

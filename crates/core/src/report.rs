@@ -79,15 +79,17 @@ impl TextTable {
 }
 
 /// Format `count` with a percentage of `total`: `1,234 (5.6%)`.
+///
+/// An empty bucket (`total == 0`, so necessarily `count == 0`) renders as
+/// `0 (0.0%)` rather than propagating the `0/0` division into `NaN%` —
+/// the lint histogram hits this whenever a rule never fired.
 pub fn count_pct(count: usize, total: usize) -> String {
-    if total == 0 {
-        return format!("{} (n/a)", group_thousands(count));
-    }
-    format!(
-        "{} ({:.1}%)",
-        group_thousands(count),
+    let pct = if total == 0 {
+        0.0
+    } else {
         100.0 * count as f64 / total as f64
-    )
+    };
+    format!("{} ({pct:.1}%)", group_thousands(count))
 }
 
 /// Thousands separators: 1234567 → "1,234,567".
@@ -156,7 +158,9 @@ mod tests {
     #[test]
     fn count_pct_format() {
         assert_eq!(count_pct(838354, 906336), "838,354 (92.5%)");
-        assert_eq!(count_pct(5, 0), "5 (n/a)");
+        // 0/0 must render as a plain zero percentage, not NaN%.
+        assert_eq!(count_pct(0, 0), "0 (0.0%)");
+        assert_eq!(count_pct(5, 0), "5 (0.0%)");
     }
 
     #[test]

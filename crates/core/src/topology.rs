@@ -615,7 +615,7 @@ mod tests {
         assert!(g.leaf_paths(16).is_empty());
 
         let f = fixture();
-        let g = TopologyGraph::build(&[f.leaf.clone()], &checker);
+        let g = TopologyGraph::build(std::slice::from_ref(&f.leaf), &checker);
         assert_eq!(g.leaf_paths(16), vec![vec![0]]);
         assert!(g.irrelevant_nodes().is_empty());
     }
@@ -624,7 +624,7 @@ mod tests {
     fn self_signed_has_no_self_edge() {
         let f = fixture();
         let checker = IssuanceChecker::new();
-        let g = TopologyGraph::build(&[f.root.clone()], &checker);
+        let g = TopologyGraph::build(std::slice::from_ref(&f.root), &checker);
         assert!(g.issuers_of[0].is_empty());
         assert_eq!(g.leaf_paths(16), vec![vec![0]]);
     }

@@ -93,11 +93,11 @@ impl Group {
             let p = Uint::from_hex(
                 "edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b",
             )
-            .unwrap();
+            .expect("p is valid hex");
             let q = Uint::from_hex(
                 "76dc914f4efb9e5a7a520b7d802fbed74e657415695d35ac73f0e23f5e2cb785",
             )
-            .unwrap();
+            .expect("q is valid hex");
             Group {
                 id: GroupId::Sim256,
                 p,
@@ -125,8 +125,8 @@ impl Group {
                 "83655D23DCA3AD961C62F356208552BB9ED529077096966D",
                 "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
             ))
-            .unwrap();
-            let q = p.checked_sub(&Uint::one()).unwrap().shr(1);
+            .expect("RFC 3526 modulus is valid hex");
+            let q = p.checked_sub(&Uint::one()).expect("p > 1").shr(1);
             Group {
                 id: GroupId::Rfc3526_1536,
                 p,
@@ -322,19 +322,21 @@ impl PrivateKey {
                 material.extend_from_slice(&block);
             }
             material.truncate(group.scalar_len);
-            let k = Uint::from_bytes_be(&material).rem(&group.q).unwrap();
+            let k = Uint::from_bytes_be(&material).rem(&group.q).expect("q is non-zero");
             if !k.is_zero() {
                 break k;
             }
             k_seed = hmac_sha256(&x_bytes, &k_seed).to_vec();
         };
         let r = group.pow_g(&k);
-        let r_bytes = r.to_bytes_be_padded(group.element_len).unwrap();
+        let r_bytes = r
+            .to_bytes_be_padded(group.element_len)
+            .expect("r < p fits the element length");
         let mut h = Sha256::new();
         h.update(&r_bytes);
         h.update(message);
         let e = h.finalize();
-        let e_scalar = Uint::from_bytes_be(&e).rem(&group.q).unwrap();
+        let e_scalar = Uint::from_bytes_be(&e).rem(&group.q).expect("q is non-zero");
         let s = k.add_mod(&self.x.mul_mod(&e_scalar, &group.q), &group.q);
         Signature {
             e,
@@ -389,12 +391,14 @@ impl PublicKey {
         if s >= group.q {
             return false;
         }
-        let e_scalar = Uint::from_bytes_be(&signature.e).rem(&group.q).unwrap();
+        let e_scalar = Uint::from_bytes_be(&signature.e)
+            .rem(&group.q)
+            .expect("q is non-zero");
         // r' = g^s * y^(q - e) mod p   (y has order q, so y^-e = y^(q-e)).
         // All three operations stay in Montgomery form: g^s via the fixed-
         // base tables, y^(q-e) from the cached Montgomery residue of y, and
         // the final product converts back exactly once.
-        let neg_e = group.q.checked_sub(&e_scalar).unwrap();
+        let neg_e = group.q.checked_sub(&e_scalar).expect("e_scalar < q");
         let ops = group.ops();
         let gs = group.pow_g_mont(&s);
         let y_m = self

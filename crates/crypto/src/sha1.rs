@@ -6,7 +6,7 @@
 //! string). chain-chaos uses it only for that purpose.
 
 /// Streaming SHA-1 hasher.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Sha1 {
     state: [u32; 5],
     buffer: [u8; 64],

@@ -14,7 +14,7 @@ const K: [u32; 64] = [
 ];
 
 /// Streaming SHA-256 hasher.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Sha256 {
     state: [u32; 8],
     buffer: [u8; 64],

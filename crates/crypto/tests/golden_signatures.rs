@@ -17,7 +17,7 @@ fn unhex(s: &str) -> Vec<u8> {
     assert_eq!(s.len() % 2, 0);
     (0..s.len())
         .step_by(2)
-        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("valid hex"))
         .collect()
 }
 

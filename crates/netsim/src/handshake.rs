@@ -45,6 +45,7 @@ impl From<TlsMsgError> for HandshakeError {
 }
 
 /// A one-shot certificate server bound to an ephemeral loopback port.
+#[derive(Debug)]
 pub struct CertServer {
     addr: SocketAddr,
     handle: Option<JoinHandle<Result<(), HandshakeError>>>,

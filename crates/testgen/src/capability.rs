@@ -104,6 +104,7 @@ pub struct CapabilityRow {
 }
 
 /// The fixed PKI behind all nine tests.
+#[derive(Debug)]
 pub struct CapabilitySuite {
     /// Trust store holding the suite's root.
     pub store: RootStore,
@@ -134,8 +135,8 @@ impl CapabilitySuite {
         let root_dn = DistinguishedName::cn_o("Capability Root", "chain-chaos");
         let root = CertificateBuilder::ca_profile(root_dn.clone())
             .validity(
-                Time::from_ymd(2015, 1, 1).unwrap(),
-                Time::from_ymd(2040, 1, 1).unwrap(),
+                Time::from_ymd(2015, 1, 1).expect("literal date is valid"),
+                Time::from_ymd(2040, 1, 1).expect("literal date is valid"),
             )
             .self_signed(&root_kp);
         let int_kp = mk("int");
@@ -149,7 +150,7 @@ impl CapabilitySuite {
         CapabilitySuite {
             store,
             aia: AiaRepository::empty(),
-            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            now: Time::from_ymd(2024, 7, 1).expect("literal date is valid"),
             root,
             root_kp,
             root_dn,
@@ -291,7 +292,7 @@ impl CapabilitySuite {
         let g = Group::simulation_256();
         let shared_kp = KeyPair::from_seed(g, format!("capability/{label}/shared").as_bytes());
         let shared_dn = DistinguishedName::cn(format!("Priority CA {label}"));
-        let y = |y, m, d| Time::from_ymd(y, m, d).unwrap();
+        let y = |y, m, d| Time::from_ymd(y, m, d).expect("literal date is valid");
         let base = || CertificateBuilder::ca_profile(shared_dn.clone());
         let i = base().validity(y(2024, 1, 1), y(2025, 1, 1));
         let i1 = base().validity(y(2020, 1, 1), y(2021, 1, 1)); // expired

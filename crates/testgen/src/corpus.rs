@@ -175,6 +175,7 @@ impl CorpusSpec {
 }
 
 /// The generated corpus: environment + per-rank observation factory.
+#[derive(Debug)]
 pub struct Corpus {
     /// The CA universe all chains are issued from.
     pub universe: CaUniverse,
@@ -853,32 +854,24 @@ mod tests {
             *seen.entry(obs.planned).or_insert(0) += 1;
             let order = analyze_order(&obs.served, &checker);
             match obs.planned {
-                PlannedDefect::DuplicateLeaf => {
-                    if order.duplicates.leaf == 0 {
-                        mismatches += 1;
-                    }
+                PlannedDefect::DuplicateLeaf if order.duplicates.leaf == 0 => {
+                    mismatches += 1;
                 }
-                PlannedDefect::DuplicateBundle { .. } => {
-                    if order.duplicates.total() == 0 {
-                        mismatches += 1;
-                    }
+                PlannedDefect::DuplicateBundle { .. } if order.duplicates.total() == 0 => {
+                    mismatches += 1;
                 }
-                PlannedDefect::Reversed => {
-                    if !order.has_reversed() {
-                        mismatches += 1;
-                    }
+                PlannedDefect::Reversed if !order.has_reversed() => {
+                    mismatches += 1;
                 }
                 PlannedDefect::StaleLeaves
                 | PlannedDefect::ForeignChain
-                | PlannedDefect::UnrelatedRoot => {
-                    if !order.has_irrelevant() {
-                        mismatches += 1;
-                    }
+                | PlannedDefect::UnrelatedRoot
+                    if !order.has_irrelevant() =>
+                {
+                    mismatches += 1;
                 }
-                PlannedDefect::MultiPath => {
-                    if !order.has_multiple_paths() {
-                        mismatches += 1;
-                    }
+                PlannedDefect::MultiPath if !order.has_multiple_paths() => {
+                    mismatches += 1;
                 }
                 PlannedDefect::Incomplete => {
                     let c = analyzer.analyze(&obs.served);
@@ -886,10 +879,8 @@ mod tests {
                         mismatches += 1;
                     }
                 }
-                PlannedDefect::None => {
-                    if !order.is_compliant() {
-                        mismatches += 1;
-                    }
+                PlannedDefect::None if !order.is_compliant() => {
+                    mismatches += 1;
                 }
                 _ => {}
             }

@@ -28,6 +28,7 @@ pub struct Scenario {
 }
 
 /// Shared environment for the scenario set.
+#[derive(Debug)]
 pub struct ScenarioSet {
     /// Trust store with the trusted roots.
     pub store: RootStore,
@@ -52,23 +53,23 @@ impl ScenarioSet {
         let trusted_root_dn = DistinguishedName::cn_o("Scenario Trusted Root", "chain-chaos");
         let trusted_root = CertificateBuilder::ca_profile(trusted_root_dn.clone())
             .validity(
-                Time::from_ymd(2015, 1, 1).unwrap(),
-                Time::from_ymd(2040, 1, 1).unwrap(),
+                Time::from_ymd(2015, 1, 1).expect("literal date is valid"),
+                Time::from_ymd(2040, 1, 1).expect("literal date is valid"),
             )
             .self_signed(&trusted_root_kp);
         let gov_root_kp = mk("gov-root");
         let gov_root_dn = DistinguishedName::cn_o("Scenario Gov Root", "gov.sim");
         let gov_root = CertificateBuilder::ca_profile(gov_root_dn.clone())
             .validity(
-                Time::from_ymd(2015, 1, 1).unwrap(),
-                Time::from_ymd(2040, 1, 1).unwrap(),
+                Time::from_ymd(2015, 1, 1).expect("literal date is valid"),
+                Time::from_ymd(2040, 1, 1).expect("literal date is valid"),
             )
             .self_signed(&gov_root_kp);
         let store = RootStore::new("scenario", vec![trusted_root.clone()]);
         ScenarioSet {
             store,
             aia: AiaRepository::empty(),
-            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            now: Time::from_ymd(2024, 7, 1).expect("literal date is valid"),
             trusted_root,
             trusted_root_kp,
             trusted_root_dn,
@@ -127,8 +128,8 @@ impl ScenarioSet {
             let kp = KeyPair::from_seed(g, format!("scenario-leaf/fig2b/{year}").as_bytes());
             let leaf = CertificateBuilder::leaf_profile("fig2b.sim")
                 .validity(
-                    Time::from_ymd(year, 1, 1).unwrap(),
-                    Time::from_ymd(year + 1, 1, 1).unwrap(),
+                    Time::from_ymd(year, 1, 1).expect("literal date is valid"),
+                    Time::from_ymd(year + 1, 1, 1).expect("literal date is valid"),
                 )
                 .issued_by(&kp.public, i1_dn.clone(), &i1_kp);
             leaves.push(leaf);
@@ -288,14 +289,14 @@ impl ScenarioSet {
         let shared_dn = DistinguishedName::cn_o("DigiCert TLS Sim 2020 CA1", "chain-chaos");
         let candidate_a = CertificateBuilder::ca_profile(shared_dn.clone())
             .validity(
-                Time::from_ymd(2021, 4, 14).unwrap(),
-                Time::from_ymd(2031, 4, 13).unwrap(),
+                Time::from_ymd(2021, 4, 14).expect("literal date is valid"),
+                Time::from_ymd(2031, 4, 13).expect("literal date is valid"),
             )
             .issued_by(&shared_kp.public, self.trusted_root_dn.clone(), &self.trusted_root_kp);
         let candidate_b = CertificateBuilder::ca_profile(shared_dn.clone())
             .validity(
-                Time::from_ymd(2020, 9, 24).unwrap(),
-                Time::from_ymd(2030, 9, 23).unwrap(),
+                Time::from_ymd(2020, 9, 24).expect("literal date is valid"),
+                Time::from_ymd(2030, 9, 23).expect("literal date is valid"),
             )
             .issued_by(&shared_kp.public, self.trusted_root_dn.clone(), &self.trusted_root_kp);
         let leaf = self.leaf("fig5.sim", &shared_dn, &shared_kp);

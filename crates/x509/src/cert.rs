@@ -22,14 +22,26 @@ pub struct Validity {
 }
 
 impl Validity {
-    /// True when `t` falls inside the window (inclusive ends, per RFC 5280).
+    /// True when `t` falls inside the window. Per RFC 5280 §4.1.2.5 the
+    /// validity period runs *from `notBefore` through `notAfter`,
+    /// inclusive*: both boundary instants are inside the window.
     pub fn contains(&self, t: Time) -> bool {
         self.not_before <= t && t <= self.not_after
     }
 
-    /// Window length in seconds.
+    /// Window length in seconds, counting both inclusive boundary
+    /// instants: a degenerate `[t, t]` window is valid for exactly one
+    /// second, and an inverted window (`not_after < not_before`, which no
+    /// conforming CA emits) yields a non-positive duration.
     pub fn duration_seconds(&self) -> i64 {
-        self.not_after.unix() - self.not_before.unix()
+        self.not_after.unix() - self.not_before.unix() + 1
+    }
+
+    /// True when the window is inverted (`not_after` strictly before
+    /// `not_before`) — such a certificate can never be valid at any
+    /// instant, see [`contains`](Self::contains).
+    pub fn is_inverted(&self) -> bool {
+        self.not_after < self.not_before
     }
 }
 
@@ -510,5 +522,51 @@ impl fmt::Display for Certificate {
             self.issuer(),
             self.fingerprint().short()
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(nb: i64, na: i64) -> Validity {
+        Validity {
+            not_before: Time::from_unix(nb),
+            not_after: Time::from_unix(na),
+        }
+    }
+
+    #[test]
+    fn validity_boundary_instants_are_inside() {
+        let v = window(1_000, 2_000);
+        // RFC 5280 §4.1.2.5: "from notBefore through notAfter, inclusive".
+        assert!(v.contains(Time::from_unix(1_000)), "notBefore instant");
+        assert!(v.contains(Time::from_unix(2_000)), "notAfter instant");
+        assert!(v.contains(Time::from_unix(1_500)));
+        assert!(!v.contains(Time::from_unix(999)), "one second early");
+        assert!(!v.contains(Time::from_unix(2_001)), "one second late");
+    }
+
+    #[test]
+    fn validity_duration_counts_inclusive_seconds() {
+        // A [t, t] window is valid for exactly the one instant t.
+        let degenerate = window(5, 5);
+        assert!(degenerate.contains(Time::from_unix(5)));
+        assert_eq!(degenerate.duration_seconds(), 1);
+        assert!(!degenerate.is_inverted());
+
+        let v = window(0, 86_399);
+        assert_eq!(v.duration_seconds(), 86_400, "a full day of seconds");
+    }
+
+    #[test]
+    fn inverted_validity_window() {
+        let v = window(2_000, 1_000);
+        assert!(v.is_inverted());
+        assert!(v.duration_seconds() <= 0);
+        // No instant is inside an inverted window.
+        for t in [999, 1_000, 1_500, 2_000, 2_001] {
+            assert!(!v.contains(Time::from_unix(t)), "t={t}");
+        }
     }
 }

@@ -60,7 +60,7 @@ fn main() {
         store: programs.unified(),
         aia: Some(&aia),
         cache: &[],
-        now: Time::from_ymd(2024, 7, 1).unwrap(),
+        now: Time::from_ymd(2024, 7, 1).expect("literal date is valid"),
         checker: &checker,
     };
     let mut table = TextTable::new(

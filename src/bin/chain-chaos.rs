@@ -9,7 +9,14 @@
 //!                                        run one client's chain construction
 //! chain-chaos matrix <chain.pem> --store roots.pem [--time YYYY-MM-DD]
 //!                                        run all eight client profiles
+//! chain-chaos lint <chain.pem> [--domain D] [--store roots.pem]
+//!                              [--format text|json|sarif] [--time YYYY-MM-DD]
+//!                              [--baseline f] [--write-baseline f]
+//!                                        static-analysis pass over the chain
 //! ```
+//!
+//! `lint` exits non-zero iff Error-severity findings remain after baseline
+//! suppression, so it drops into CI pipelines directly.
 
 use chain_chaos::asn1::Time;
 use chain_chaos::core::clients::ClientKind;
@@ -19,6 +26,7 @@ use chain_chaos::core::{
     TopologyGraph,
 };
 use chain_chaos::crypto::{Group, KeyPair};
+use chain_chaos::lint::{render, Baseline, LintEngine, Severity};
 use chain_chaos::netsim::AiaRepository;
 use chain_chaos::rootstore::RootStore;
 use chain_chaos::x509::pem;
@@ -282,6 +290,68 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Default lint domain: the leaf's first SAN dNSName, else its subject
+/// CN, else a placeholder (the domain participates in finding
+/// fingerprints, so it must be deterministic for a given input).
+fn lint_domain<'a>(args: &'a Args, served: &'a [Certificate]) -> &'a str {
+    if let Some(d) = args.opt("domain") {
+        return d;
+    }
+    let Some(leaf) = served.first() else {
+        return "unknown.invalid";
+    };
+    if let Some(name) = leaf.san().and_then(|san| san.dns_names().next()) {
+        return name;
+    }
+    leaf.subject().common_name().unwrap_or("unknown.invalid")
+}
+
+fn cmd_lint(args: &Args) -> Result<ExitCode, String> {
+    let path = args.positional.get(1).ok_or(
+        "usage: chain-chaos lint <chain.pem> [--domain D] [--store roots.pem] \
+         [--format text|json|sarif] [--time YYYY-MM-DD] [--baseline f] [--write-baseline f]",
+    )?;
+    let served = load_chain(path)?;
+    let store = load_store(args)?;
+    let now = parse_time(args)?;
+    let checker = IssuanceChecker::new();
+    let aia = AiaRepository::empty();
+    let engine = LintEngine::new(&checker, &store, Some(&aia), now);
+    let domain = lint_domain(args, &served).to_string();
+    let findings = engine.lint_chain(&domain, &served);
+
+    if let Some(out) = args.opt("write-baseline") {
+        let baseline = Baseline::from_findings(findings.iter());
+        std::fs::write(out, baseline.to_json())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {} suppression(s) to {out}", baseline.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match args.opt("baseline") {
+        Some(bpath) => {
+            let text = std::fs::read_to_string(bpath)
+                .map_err(|e| format!("cannot read {bpath}: {e}"))?;
+            Baseline::parse(&text).map_err(|e| format!("{bpath}: {e}"))?
+        }
+        None => Baseline::empty(),
+    };
+    let findings = baseline.filter(findings);
+
+    match args.opt("format").unwrap_or("text") {
+        "text" => print!("{}", render::render_text(&findings)),
+        "json" => print!("{}", render::render_jsonl(&findings)),
+        "sarif" => print!("{}", render::render_sarif(&findings)),
+        other => return Err(format!("unknown --format {other} (text|json|sarif)")),
+    }
+    let has_error = findings.iter().any(|f| f.severity == Severity::Error);
+    Ok(if has_error {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(raw) {
@@ -293,10 +363,11 @@ fn main() -> ExitCode {
     };
     let command = args.positional.first().map(String::as_str).unwrap_or("");
     let result = match command {
-        "demo-pki" => cmd_demo_pki(&args),
-        "analyze" => cmd_analyze(&args),
-        "build" => cmd_build(&args),
-        "matrix" => cmd_matrix(&args),
+        "demo-pki" => cmd_demo_pki(&args).map(|()| ExitCode::SUCCESS),
+        "analyze" => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
+        "build" => cmd_build(&args).map(|()| ExitCode::SUCCESS),
+        "matrix" => cmd_matrix(&args).map(|()| ExitCode::SUCCESS),
+        "lint" => cmd_lint(&args),
         _ => {
             eprintln!(
                 "chain-chaos — Web PKI certificate chain compliance toolkit\n\n\
@@ -304,13 +375,15 @@ fn main() -> ExitCode {
                  \x20 demo-pki --out <dir>\n\
                  \x20 analyze <chain.pem> [--domain D] [--store roots.pem]\n\
                  \x20 build   <chain.pem> --store roots.pem [--client NAME] [--domain D] [--time YYYY-MM-DD]\n\
-                 \x20 matrix  <chain.pem> --store roots.pem [--domain D] [--time YYYY-MM-DD]"
+                 \x20 matrix  <chain.pem> --store roots.pem [--domain D] [--time YYYY-MM-DD]\n\
+                 \x20 lint    <chain.pem> [--domain D] [--store roots.pem] [--format text|json|sarif]\n\
+                 \x20         [--time YYYY-MM-DD] [--baseline f] [--write-baseline f]"
             );
             return ExitCode::FAILURE;
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -18,6 +18,7 @@
 //! | [`netsim`] | `ccc-netsim` | AIA, TLS framing, CA pipelines, HTTP servers |
 //! | [`core`] | `ccc-core` | compliance analysis, chain builder, clients, differential testing |
 //! | [`testgen`] | `ccc-testgen` | capability tests, scenarios, mutations, corpus |
+//! | [`lint`] | `ccc-lint` | zlint-style rule registry, SARIF/JSONL diagnostics, baselines |
 //!
 //! ## Quick start
 //!
@@ -57,6 +58,7 @@ pub use ccc_asn1 as asn1;
 pub use ccc_bignum as bignum;
 pub use ccc_core as core;
 pub use ccc_crypto as crypto;
+pub use ccc_lint as lint;
 pub use ccc_netsim as netsim;
 pub use ccc_rootstore as rootstore;
 pub use ccc_testgen as testgen;

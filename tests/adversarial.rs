@@ -12,7 +12,7 @@ use chain_chaos::rootstore::RootStore;
 use chain_chaos::x509::{Certificate, CertificateBuilder, DistinguishedName};
 
 fn now() -> Time {
-    Time::from_ymd(2024, 7, 1).unwrap()
+    Time::from_ymd(2024, 7, 1).expect("literal date is valid")
 }
 
 /// Two CAs that cross-sign EACH OTHER: A-signed-by-B and B-signed-by-A,

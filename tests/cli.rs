@@ -147,6 +147,102 @@ fn build_detects_untrusted_and_hostname_issues() {
 }
 
 #[test]
+fn lint_reports_findings_and_respects_baselines() {
+    let dir = tempdir("lint");
+    let out = dir.to_str().unwrap();
+    bin().args(["demo-pki", "--out", out]).output().expect("run");
+    let reversed = dir.join("reversed-chain.pem");
+    let root = dir.join("root.pem");
+
+    // Reversed chain: error finding, non-zero exit.
+    let output = bin()
+        .args([
+            "lint",
+            reversed.to_str().unwrap(),
+            "--store",
+            root.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert!(!output.status.success(), "reversed chain must fail lint");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("e_chain_reversed_order"), "{text}");
+    assert!(text.contains("w_root_included"), "{text}");
+
+    // SARIF output parses as the expected envelope.
+    let output = bin()
+        .args([
+            "lint",
+            reversed.to_str().unwrap(),
+            "--store",
+            root.to_str().unwrap(),
+            "--format",
+            "sarif",
+        ])
+        .output()
+        .expect("run");
+    let sarif = String::from_utf8_lossy(&output.stdout);
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"name\": \"ccc-lint\""), "{sarif}");
+    assert!(sarif.contains("e_chain_reversed_order"), "{sarif}");
+
+    // Baseline round-trip: write, then re-lint clean.
+    let baseline = dir.join("baseline.json");
+    let output = bin()
+        .args([
+            "lint",
+            reversed.to_str().unwrap(),
+            "--store",
+            root.to_str().unwrap(),
+            "--write-baseline",
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert!(output.status.success());
+    let output = bin()
+        .args([
+            "lint",
+            reversed.to_str().unwrap(),
+            "--store",
+            root.to_str().unwrap(),
+            "--baseline",
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        output.status.success(),
+        "baselined lint must pass: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("0 finding(s)"), "{text}");
+
+    // Clean chain passes without a baseline (no errors; info findings ok).
+    let full = dir.join("fullchain.pem");
+    let output = bin()
+        .args([
+            "lint",
+            full.to_str().unwrap(),
+            "--store",
+            root.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("run");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(!line.contains("\"severity\":\"error\""), "{line}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_inputs_produce_clean_errors() {
     let output = bin()
         .args(["analyze", "/nonexistent/file.pem"])

@@ -33,7 +33,7 @@ fn world() -> World {
 }
 
 fn now() -> Time {
-    Time::from_ymd(2024, 7, 1).unwrap()
+    Time::from_ymd(2024, 7, 1).expect("literal date is valid")
 }
 
 #[test]
@@ -47,8 +47,8 @@ fn issued_deployed_served_and_validated() {
             &w.universe,
             0,
             &domain,
-            Time::from_ymd(2024, 2, 1).unwrap(),
-            Time::from_ymd(2025, 2, 1).unwrap(),
+            Time::from_ymd(2024, 2, 1).expect("literal date is valid"),
+            Time::from_ymd(2025, 2, 1).expect("literal date is valid"),
             &mut Drbg::from_u64(1000 + pi as u64),
             false,
         );
@@ -90,8 +90,8 @@ fn reversed_reseller_delivery_surfaces_on_the_wire() {
         &w.universe,
         0,
         "naive.sim",
-        Time::from_ymd(2024, 2, 1).unwrap(),
-        Time::from_ymd(2025, 2, 1).unwrap(),
+        Time::from_ymd(2024, 2, 1).expect("literal date is valid"),
+        Time::from_ymd(2025, 2, 1).expect("literal date is valid"),
         &mut Drbg::from_u64(2),
         false,
     );
@@ -130,8 +130,8 @@ fn azure_blocks_duplicate_leaf_end_to_end() {
         &w.universe,
         0,
         "azure.sim",
-        Time::from_ymd(2024, 2, 1).unwrap(),
-        Time::from_ymd(2025, 2, 1).unwrap(),
+        Time::from_ymd(2024, 2, 1).expect("literal date is valid"),
+        Time::from_ymd(2025, 2, 1).expect("literal date is valid"),
         &mut Drbg::from_u64(3),
         false,
     );
