@@ -5,12 +5,16 @@
 //!
 //! `cargo run --release --bin ablation [domains]`
 
-use ccc_bench::{domains_from_env, scan_corpus};
+use ccc_bench::{
+    domains_from_env, scan_corpus, AnalysisPass, ObservationMemo, PassContext, Pipeline,
+};
 use ccc_core::builder::{BuildContext, BuilderPolicy, ChainEngine, KidPriority, SearchScope,
     ValidityPriority};
 use ccc_core::report::{count_pct, TextTable};
-use ccc_core::{analyze_compliance, CompletenessAnalyzer, IssuanceChecker};
+use ccc_core::{CompletenessAnalyzer, IssuanceChecker};
 use ccc_testgen::corpus::scan_time;
+use ccc_testgen::DomainObservation;
+use ccc_x509::Certificate;
 
 fn variants() -> Vec<(&'static str, BuilderPolicy)> {
     let full = BuilderPolicy::full_capability("full");
@@ -77,23 +81,61 @@ fn variants() -> Vec<(&'static str, BuilderPolicy)> {
     ]
 }
 
+/// Custom pipeline pass collecting the non-compliant corpus subset: the
+/// study only needs the served chains that fail compliance, so the sweep
+/// stays O(chunk) in observations and O(subset) in retained chains (not
+/// O(corpus)). Doubles as the out-of-crate exercise of the
+/// [`AnalysisPass`] extension point (DESIGN.md §12).
+struct NoncompliantSubset<'c> {
+    state: Option<(&'c IssuanceChecker, CompletenessAnalyzer<'c>)>,
+    chains: Vec<Vec<Certificate>>,
+}
+
+impl<'c> NoncompliantSubset<'c> {
+    fn new() -> NoncompliantSubset<'c> {
+        NoncompliantSubset { state: None, chains: Vec::new() }
+    }
+}
+
+impl<'c> AnalysisPass<'c> for NoncompliantSubset<'c> {
+    fn name(&self) -> &'static str {
+        "noncompliant-subset"
+    }
+
+    fn begin(&self, ctx: PassContext<'c>) -> Self {
+        let analyzer = CompletenessAnalyzer::new(
+            ctx.checker,
+            ctx.corpus.programs.unified(),
+            Some(&ctx.corpus.aia),
+        );
+        NoncompliantSubset { state: Some((ctx.checker, analyzer)), chains: Vec::new() }
+    }
+
+    fn visit(&mut self, obs: &DomainObservation, memo: &ObservationMemo) {
+        let (checker, analyzer) = self.state.as_ref().expect("forked worker");
+        let report = memo.report(obs, checker, analyzer);
+        if !report.is_compliant() {
+            self.chains.push(obs.served.clone());
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        // Rank-order merge keeps the subset in corpus order.
+        self.chains.extend(other.chains);
+    }
+}
+
 fn main() {
     let domains = domains_from_env();
     eprintln!("generating {domains} domains, ablating over the non-compliant subset…");
     let corpus = scan_corpus(domains);
     let checker = IssuanceChecker::new();
-    let analyzer =
-        CompletenessAnalyzer::new(&checker, corpus.programs.unified(), Some(&corpus.aia));
 
-    // Collect the non-compliant subset once.
-    let mut subset = Vec::new();
-    corpus.for_each(|obs| {
-        let report = analyze_compliance(&obs.domain, &obs.served, &checker, &analyzer);
-        if !report.is_compliant() {
-            subset.push(obs.served);
-        }
-    });
+    // Collect the non-compliant subset in one streaming sweep.
+    let (pass, stats) = Pipeline::from_env().run(&corpus, &checker, NoncompliantSubset::new());
+    let subset = pass.chains;
     eprintln!("non-compliant subset: {} chains", subset.len());
+    eprintln!("{}", stats.render());
 
     let ctx = BuildContext {
         store: corpus.programs.unified(),

@@ -1,19 +1,38 @@
-//! Machine-readable snapshot of the modular-exponentiation stack.
+//! Machine-readable perf snapshots.
 //!
-//! Times the three arithmetic paths (schoolbook `modpow_naive`, the
-//! Montgomery fixed-window `MontgomeryCtx::modpow`, and the fixed-base
-//! generator tables used for `g^k`) on both group presets and writes
-//! `BENCH_modexp.json` (or the path given as the first CLI argument).
+//! Two cases:
 //!
-//! The committed snapshot backs the perf table in README and the ≥5×
-//! (1536-bit modexp) / ≥10× (fixed-base `g^k`) acceptance thresholds;
-//! CI runs this binary in a smoke step to keep it from bit-rotting.
-//! Set `CCC_SNAPSHOT_ITERS` to raise the per-path iteration count for a
-//! lower-noise measurement.
+//! - **modexp**: times the three arithmetic paths (schoolbook
+//!   `modpow_naive`, the Montgomery fixed-window `MontgomeryCtx::modpow`,
+//!   and the fixed-base generator tables used for `g^k`) on both group
+//!   presets → `BENCH_modexp.json`.
+//! - **pipeline**: times the fused single-generation 3-analysis sweep
+//!   (compliance + differential + lint, one shared checker) against
+//!   three sequential standalone sweeps, each with a fresh checker, on a
+//!   1k-domain corpus → `BENCH_pipeline.json`. The run first asserts the
+//!   fused summaries are identical to the sequential ones.
+//!
+//! ```text
+//! perf_snapshot                       both cases, default output paths
+//! perf_snapshot <path>                modexp only (CI compat)
+//! perf_snapshot --pipeline <path>     pipeline only
+//! ```
+//!
+//! The committed snapshots back the perf tables in README and the
+//! acceptance thresholds (≥5× 1536-bit modexp, ≥10× fixed-base `g^k`,
+//! ≥2.5× fused 3-analysis sweep); CI runs this binary in smoke steps to
+//! keep them from bit-rotting. Set `CCC_SNAPSHOT_ITERS` to raise the
+//! iteration count for a lower-noise measurement.
 
+use ccc_bench::{
+    CompliancePass, CorpusSummary, DifferentialPass, DifferentialSummary, LintPass, Pipeline,
+    PipelineStats,
+};
 use ccc_bignum::{modpow_naive, FixedBaseTable, MontgomeryCtx, Uint};
+use ccc_core::IssuanceChecker;
 use ccc_crypto::{Drbg, Group};
-use std::time::Instant;
+use ccc_lint::LintSummary;
+use std::time::{Duration, Instant};
 
 struct PathTiming {
     name: &'static str,
@@ -87,16 +106,92 @@ fn run_case(label: &'static str, group: &'static Group, iters: usize) -> CaseRes
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_modexp.json".to_string());
-    let iters: usize = std::env::var("CCC_SNAPSHOT_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(20);
+/// Corpus size for the pipeline snapshot (matches the issue's 1k-domain
+/// acceptance workload).
+const PIPELINE_DOMAINS: usize = 1_000;
 
+/// One fused-vs-sequential measurement on a 1k-domain corpus. Returns
+/// `(sequential_total, fused_total, fused_stats)` — best-of-`iters` wall
+/// times — after asserting the fused summaries are bit-identical to the
+/// standalone ones.
+fn run_pipeline_case(iters: usize) -> (Duration, Duration, PipelineStats) {
+    let corpus = ccc_bench::scan_corpus(PIPELINE_DOMAINS);
+
+    // Correctness gate: fused output must equal the sequential outputs.
+    let c1 = IssuanceChecker::new();
+    let seq_compliance = CorpusSummary::compute_with_checker(&corpus, &c1);
+    let c2 = IssuanceChecker::new();
+    let seq_differential = DifferentialSummary::compute_with_checker(&corpus, &c2);
+    let c3 = IssuanceChecker::new();
+    let seq_lint = LintSummary::compute_with_checker(&corpus, &c3);
+    let fused_checker = IssuanceChecker::new();
+    let ((fc, fd, fl), _) = Pipeline::from_env().run(
+        &corpus,
+        &fused_checker,
+        (CompliancePass::new(), DifferentialPass::new(), LintPass::new()),
+    );
+    assert_eq!(fc.summary, seq_compliance, "fused compliance summary drifted");
+    assert_eq!(fd.summary, seq_differential, "fused differential summary drifted");
+    assert_eq!(fl.summary, seq_lint, "fused lint summary drifted");
+
+    let mut best_seq = Duration::MAX;
+    let mut best_fused = Duration::MAX;
+    let mut fused_stats = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let c1 = IssuanceChecker::new();
+        std::hint::black_box(CorpusSummary::compute_with_checker(&corpus, &c1));
+        let c2 = IssuanceChecker::new();
+        std::hint::black_box(DifferentialSummary::compute_with_checker(&corpus, &c2));
+        let c3 = IssuanceChecker::new();
+        std::hint::black_box(LintSummary::compute_with_checker(&corpus, &c3));
+        best_seq = best_seq.min(start.elapsed());
+
+        let start = Instant::now();
+        let checker = IssuanceChecker::new();
+        let (passes, stats) = Pipeline::from_env().run(
+            &corpus,
+            &checker,
+            (CompliancePass::new(), DifferentialPass::new(), LintPass::new()),
+        );
+        let elapsed = start.elapsed();
+        std::hint::black_box(&passes);
+        drop(passes);
+        if elapsed < best_fused {
+            best_fused = elapsed;
+            fused_stats = Some(stats);
+        }
+    }
+    (best_seq, best_fused, fused_stats.expect("iters > 0"))
+}
+
+fn write_pipeline_snapshot(out_path: &str, iters: usize) {
+    let (seq, fused, stats) = run_pipeline_case(iters);
+    let speedup = seq.as_secs_f64() / fused.as_secs_f64();
+    let json = format!(
+        "{{\n  \"benchmark\": \"pipeline\",\n  \"unit\": \"seconds\",\n  \"domains\": {},\n  \"passes\": {},\n  \"threads\": {},\n  \"iters\": {},\n  \"sequential_3_passes_s\": {:.4},\n  \"fused_3_passes_s\": {:.4},\n  \"speedup\": {:.2},\n  \"fused_generation_s\": {:.4},\n  \"fused_analysis_s\": {:.4},\n  \"fused_cache\": {{ \"lookups\": {}, \"hits\": {}, \"verifications\": {} }}\n}}\n",
+        PIPELINE_DOMAINS,
+        stats.passes,
+        stats.threads,
+        iters,
+        seq.as_secs_f64(),
+        fused.as_secs_f64(),
+        speedup,
+        stats.generation.as_secs_f64(),
+        stats.analysis.as_secs_f64(),
+        stats.cache.lookups,
+        stats.cache.hits,
+        stats.cache.verifications,
+    );
+    std::fs::write(out_path, &json).expect("write pipeline snapshot");
+    println!(
+        "pipeline ({PIPELINE_DOMAINS} domains, 3 passes): sequential {:.3}s, fused {:.3}s, {speedup:.2}x"
+    , seq.as_secs_f64(), fused.as_secs_f64());
+    println!("{}", stats.render());
+    println!("wrote {out_path}");
+}
+
+fn write_modexp_snapshot(out_path: &str, iters: usize) {
     let results = [
         run_case("sim256", Group::simulation_256(), iters * 8),
         run_case("rfc3526_1536", Group::rfc3526_1536(), iters),
@@ -124,7 +219,7 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    std::fs::write(&out_path, &json).expect("write snapshot");
+    std::fs::write(out_path, &json).expect("write snapshot");
 
     for r in &results {
         let naive = r.paths[0].nanos_per_op;
@@ -139,4 +234,31 @@ fn main() {
         }
     }
     println!("wrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: usize = std::env::var("CCC_SNAPSHOT_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20);
+    // The pipeline case runs full 1k-domain sweeps, so its repeat count
+    // stays small even when CCC_SNAPSHOT_ITERS cranks up modexp.
+    let pipeline_iters = iters.div_ceil(7).max(3);
+
+    match args.first().map(String::as_str) {
+        // Pipeline only: `perf_snapshot --pipeline [path]`.
+        Some("--pipeline") => {
+            let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pipeline.json");
+            write_pipeline_snapshot(out, pipeline_iters);
+        }
+        // Modexp only, to an explicit path (CI compat).
+        Some(path) => write_modexp_snapshot(path, iters),
+        // Default: both snapshots at their committed paths.
+        None => {
+            write_modexp_snapshot("BENCH_modexp.json", iters);
+            write_pipeline_snapshot("BENCH_pipeline.json", pipeline_iters);
+        }
+    }
 }

@@ -11,10 +11,10 @@
 //! committed `ci/lint-baseline.json`, so the job fails only on *new*
 //! errors.
 
-use ccc_bench::scan_corpus;
-use ccc_core::report::{count_pct, group_thousands, render_cache_stats, TextTable};
+use ccc_bench::{scan_corpus, CompliancePass, LintPass, Pipeline};
+use ccc_core::report::{count_pct, group_thousands, TextTable};
 use ccc_core::IssuanceChecker;
-use ccc_lint::{registry, Baseline, LintSummary, Severity};
+use ccc_lint::{registry, Baseline, Severity};
 use std::process::ExitCode;
 
 /// Default corpus size for the lint table (smaller than the analysis
@@ -66,7 +66,24 @@ fn main() -> ExitCode {
     eprintln!("linting {} synthetic domains…", args.domains);
     let corpus = scan_corpus(args.domains);
     let checker = IssuanceChecker::new();
-    let s = LintSummary::compute_with_checker(&corpus, &checker);
+    // Fused sweep: one observation generation feeds both the compliance
+    // analysis and the lint engine (DESIGN.md §12). The compliance leg
+    // replaces the per-chain analyze_compliance call the lint summary
+    // used to make internally, and doubles as a cross-check below.
+    let ((compliance, lint), stats) = Pipeline::from_env().run(
+        &corpus,
+        &checker,
+        (CompliancePass::new(), LintPass::new()),
+    );
+    let compliance = compliance.into_summary();
+    let s = lint.into_summary();
+    if s.noncompliant_chains != compliance.noncompliant {
+        eprintln!(
+            "CONSISTENCY FAILURE: lint saw {} non-compliant chain(s), compliance pass saw {}",
+            s.noncompliant_chains, compliance.noncompliant
+        );
+        return ExitCode::FAILURE;
+    }
 
     // Severity × rule histogram, registry order within severity bands.
     let mut table = TextTable::new(
@@ -103,7 +120,9 @@ fn main() -> ExitCode {
         group_thousands(s.noncompliant_chains),
         group_thousands(s.chains_with_error),
     );
-    eprintln!("{}", render_cache_stats(&checker.snapshot_stats()));
+    // Phase split + cache delta for the fused sweep (stderr: stdout stays
+    // deterministic for output diffing).
+    eprintln!("{}", stats.render());
 
     // Consistency cross-check: the engine and analyze_compliance are
     // mutual test oracles.

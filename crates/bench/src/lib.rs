@@ -5,6 +5,12 @@
 //! its slice of the accumulated statistics next to the paper's published
 //! values, so "shape" comparisons are one `cargo run` away.
 //!
+//! All corpus sweeps run on the fused [`pipeline`]: observations are
+//! generated exactly once per sweep and fanned to every registered
+//! [`AnalysisPass`], so running the structural, differential, and lint
+//! analyses together costs one generation pass, not three (see
+//! DESIGN.md §12 and `benches/pipeline.rs`).
+//!
 //! Scale control: binaries default to 100,000 domains; set `CCC_DOMAINS`
 //! (or pass the count as the first CLI argument) to change it. The paper's
 //! absolute counts are for 906,336 chains; percentages are the comparable
@@ -17,17 +23,20 @@
 //! summaries merge associatively).
 
 use ccc_core::clients::ClientKind;
-use ccc_core::completeness::RootResolution;
 use ccc_core::{
-    analyze_compliance, Completeness, CompletenessAnalyzer, DifferentialHarness,
-    DifferentialReport, DiscrepancyCause, IncompleteReason, IssuanceChecker, LeafPlacement,
-    NonCompliance, TopologyGraph,
+    Completeness, DifferentialReport, DiscrepancyCause, IssuanceChecker, LeafPlacement,
 };
 use ccc_netsim::httpserver::HttpServerKind;
 use ccc_rootstore::RootProgram;
-use ccc_testgen::corpus::scan_time;
 use ccc_testgen::{Corpus, CorpusSpec};
 use std::collections::BTreeMap;
+
+pub mod pipeline;
+
+pub use pipeline::{
+    AnalysisPass, CompliancePass, DifferentialPass, LintPass, ObservationMemo, PassContext,
+    Pipeline, PipelineStats,
+};
 
 /// Default corpus size for the regeneration binaries.
 pub const DEFAULT_DOMAINS: usize = 100_000;
@@ -171,36 +180,24 @@ impl CorpusSummary {
 
     /// [`compute`](Self::compute) with an explicit worker count (testing
     /// hook: the result must be identical for every `threads` value).
+    ///
+    /// Thin wrapper over the fused pipeline with a single
+    /// [`CompliancePass`] registered — callers that also need the
+    /// differential or lint summaries should register those passes in the
+    /// same [`Pipeline::run`] instead of paying a second generation sweep.
     pub fn compute_with_threads(
         corpus: &Corpus,
         checker: &IssuanceChecker,
         threads: usize,
     ) -> CorpusSummary {
-        if threads <= 1 || corpus.spec.domains < 256 {
-            return Self::compute_range(corpus, checker, 0, corpus.spec.domains);
-        }
-        let chunk = corpus.spec.domains.div_ceil(threads);
-        let partials: Vec<CorpusSummary> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let start = t * chunk;
-                    let end = ((t + 1) * chunk).min(corpus.spec.domains);
-                    scope.spawn(move || Self::compute_range(corpus, checker, start, end))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        });
-        let mut total = CorpusSummary {
-            total: corpus.spec.domains,
-            ..Default::default()
-        };
-        for p in partials {
-            total.merge(p);
-        }
-        total
+        let (pass, _stats) = Pipeline::new(threads).run(corpus, checker, CompliancePass::new());
+        pass.into_summary()
     }
 
-    fn merge(&mut self, other: CorpusSummary) {
+    /// Fold a worker partial into this summary. `total` is intentionally
+    /// NOT accumulated here (the pipeline pass tracks it per-visit);
+    /// callers outside the pipeline must handle it themselves.
+    pub(crate) fn merge(&mut self, other: CorpusSummary) {
         for (k, v) in other.placement {
             *self.placement.entry(k).or_insert(0) += v;
         }
@@ -255,159 +252,21 @@ impl CorpusSummary {
         self.longest_list = self.longest_list.max(other.longest_list);
     }
 
-    /// Sequential pass over a rank range against a shared checker.
+    /// Sequential pass over a rank range against a shared checker (thin
+    /// wrapper over [`pipeline::run_range`] with a [`CompliancePass`]).
     pub fn compute_range(
         corpus: &Corpus,
         checker: &IssuanceChecker,
         start: usize,
         end: usize,
     ) -> CorpusSummary {
-        let analyzer =
-            CompletenessAnalyzer::new(checker, corpus.programs.unified(), Some(&corpus.aia));
-        let no_aia_analyzer =
-            CompletenessAnalyzer::new(checker, corpus.programs.unified(), None);
-        let program_analyzers: Vec<(RootProgram, CompletenessAnalyzer, CompletenessAnalyzer)> =
-            RootProgram::ALL
-                .iter()
-                .map(|&p| {
-                    (
-                        p,
-                        CompletenessAnalyzer::new(
-                            checker,
-                            corpus.programs.store(p),
-                            Some(&corpus.aia),
-                        ),
-                        CompletenessAnalyzer::new(checker, corpus.programs.store(p), None),
-                    )
-                })
-                .collect();
-
-        let mut s = CorpusSummary {
-            total: end - start,
-            ..Default::default()
-        };
-        let mut handle = |obs: ccc_testgen::DomainObservation| {
-            let report = analyze_compliance(&obs.domain, &obs.served, checker, &analyzer);
-            *s.placement.entry(report.leaf_placement).or_insert(0) += 1;
-            *s.completeness
-                .entry(report.completeness.completeness)
-                .or_insert(0) += 1;
-            s.longest_list = s.longest_list.max(obs.served.len());
-
-            let order = &report.order;
-            let mut any_order = false;
-            if order.has_duplicates() {
-                s.dup_chains += 1;
-                any_order = true;
-                if order.duplicates.leaf > 0 {
-                    s.dup_leaf_chains += 1;
-                }
-                if order.duplicates.intermediate > 0 {
-                    s.dup_intermediate_chains += 1;
-                }
-                if order.duplicates.root > 0 {
-                    s.dup_root_chains += 1;
-                }
-            }
-            if order.has_irrelevant() {
-                s.irrelevant_chains += 1;
-                any_order = true;
-            }
-            if order.has_multiple_paths() {
-                s.multipath_chains += 1;
-                any_order = true;
-            }
-            if order.has_reversed() {
-                s.reversed_chains += 1;
-                any_order = true;
-                if order.all_paths_reversed {
-                    s.all_paths_reversed_chains += 1;
-                }
-            }
-            if any_order {
-                s.order_noncompliant += 1;
-            }
-            if !report.is_compliant() {
-                s.noncompliant += 1;
-            }
-
-            let comp = &report.completeness;
-            if comp.completeness == Completeness::Incomplete {
-                if comp.aia_completable {
-                    s.aia_completable += 1;
-                    if comp.missing_intermediates == 1 {
-                        s.missing_single_intermediate += 1;
-                    }
-                } else if let Some(reason) = comp.incomplete_reason {
-                    let label = match reason {
-                        IncompleteReason::NoAiaField => "AIA field missing",
-                        IncompleteReason::AiaUriDead => "AIA URI dead",
-                        IncompleteReason::AiaWrongCertificate => "AIA served wrong certificate",
-                        IncompleteReason::AiaChainNotTerminating => "AIA descent not terminating",
-                    };
-                    *s.incomplete_reasons.entry(label).or_insert(0) += 1;
-                }
-            }
-            if let Some(RootResolution::AiaResolved { .. }) = comp.resolution {
-                s.root_via_aia += 1;
-            }
-
-            // Table 8 passes.
-            let graph = TopologyGraph::build(&obs.served, checker);
-            if !analyzer.client_complete(&graph) {
-                s.unified_incomplete_with_aia += 1;
-            }
-            if !no_aia_analyzer.client_complete(&graph) {
-                s.unified_incomplete_without_aia += 1;
-            }
-            for (program, with_aia, without_aia) in &program_analyzers {
-                let entry = s.store_completeness.entry(*program).or_default();
-                if !with_aia.client_complete(&graph) {
-                    entry.incomplete_with_aia += 1;
-                }
-                if !without_aia.client_complete(&graph) {
-                    entry.incomplete_without_aia += 1;
-                }
-            }
-
-            // Tables 10/11 cross-tabs.
-            let server_label = obs.server.display_name();
-            let ca_label = obs.ca;
-            for bucket in [
-                s.by_server.entry(server_label).or_default(),
-                s.by_ca.entry(ca_label).or_default(),
-            ] {
-                bucket.total += 1;
-                if !report.is_compliant() {
-                    bucket.any += 1;
-                }
-                for finding in &report.findings {
-                    match finding {
-                        NonCompliance::DuplicateCertificates => {
-                            bucket.duplicates += 1;
-                            if order.duplicates.leaf > 0 {
-                                bucket.duplicate_leaf += 1;
-                            }
-                        }
-                        NonCompliance::IrrelevantCertificates => bucket.irrelevant += 1,
-                        NonCompliance::MultiplePaths => bucket.multipath += 1,
-                        NonCompliance::ReversedSequence => bucket.reversed += 1,
-                        NonCompliance::IncompleteChain => bucket.incomplete += 1,
-                        NonCompliance::LeafMisplaced => {}
-                    }
-                }
-            }
-        };
-        for rank in start..end {
-            handle(corpus.observation(rank));
-        }
-        s
+        pipeline::run_range(corpus, checker, start, end, CompliancePass::new()).into_summary()
     }
 }
 
 /// Differential pass (the §5.2 harness over non-compliant chains plus
 /// whole-corpus availability counts).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DifferentialSummary {
     /// Aggregate over the non-compliant subset.
     pub report: DifferentialReport,
@@ -441,36 +300,23 @@ impl DifferentialSummary {
     }
 
     /// [`compute`](Self::compute) with an explicit worker count.
+    ///
+    /// Thin wrapper over the fused pipeline with a single
+    /// [`DifferentialPass`]; fuse with [`CompliancePass`]/[`LintPass`]
+    /// via [`Pipeline::run`] when more than one summary is needed.
     pub fn compute_with_threads(
         corpus: &Corpus,
         checker: &IssuanceChecker,
         threads: usize,
     ) -> DifferentialSummary {
-        if threads <= 1 || corpus.spec.domains < 256 {
-            return Self::compute_range(corpus, checker, 0, corpus.spec.domains);
-        }
-        let chunk = corpus.spec.domains.div_ceil(threads);
-        let partials: Vec<DifferentialSummary> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let start = t * chunk;
-                    let end = ((t + 1) * chunk).min(corpus.spec.domains);
-                    scope.spawn(move || Self::compute_range(corpus, checker, start, end))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        });
-        let mut total = DifferentialSummary {
-            corpus_total: corpus.spec.domains,
-            ..Default::default()
-        };
-        for p in partials {
-            total.merge(p);
-        }
-        total
+        let (pass, _stats) = Pipeline::new(threads).run(corpus, checker, DifferentialPass::new());
+        pass.into_summary()
     }
 
-    fn merge(&mut self, other: DifferentialSummary) {
+    /// Fold a worker partial into this summary. `corpus_total` is
+    /// intentionally NOT accumulated here (the pipeline pass tracks it
+    /// per-visit).
+    pub(crate) fn merge(&mut self, other: DifferentialSummary) {
         let r = &mut self.report;
         let o = other.report;
         r.total += o.total;
@@ -493,60 +339,15 @@ impl DifferentialSummary {
         }
     }
 
-    /// Sequential pass over a rank range against a shared checker.
+    /// Sequential pass over a rank range against a shared checker (thin
+    /// wrapper over [`pipeline::run_range`] with a [`DifferentialPass`]).
     pub fn compute_range(
         corpus: &Corpus,
         checker: &IssuanceChecker,
         start: usize,
         end: usize,
     ) -> DifferentialSummary {
-        let analyzer =
-            CompletenessAnalyzer::new(checker, corpus.programs.unified(), Some(&corpus.aia));
-        let harness = DifferentialHarness::new(
-            corpus.programs.unified(),
-            Some(&corpus.aia),
-            corpus.intermediate_cache(),
-            scan_time(),
-            checker,
-        );
-        let mut s = DifferentialSummary {
-            corpus_total: end - start,
-            ..Default::default()
-        };
-        let mut handle = |obs: ccc_testgen::DomainObservation| {
-            let compliance = analyze_compliance(&obs.domain, &obs.served, checker, &analyzer);
-            // Domain-aware run: hostname mismatches count as failures in
-            // every client (the paper's availability numbers include
-            // domain-mismatch and date errors, not just chain building).
-            let result = harness.run_for_domain(&obs.served, &obs.domain);
-            let lib_fail = result
-                .outcomes
-                .iter()
-                .any(|(k, o)| !k.is_browser() && !o.accepted());
-            let browser_fail = result
-                .outcomes
-                .iter()
-                .any(|(k, o)| k.is_browser() && !o.accepted());
-            if lib_fail {
-                s.corpus_library_failures += 1;
-            }
-            if browser_fail {
-                s.corpus_browser_failures += 1;
-            }
-            if compliance.is_compliant() {
-                return;
-            }
-            for cause in &result.causes {
-                s.cause_examples
-                    .entry(*cause)
-                    .or_insert_with(|| obs.domain.clone());
-            }
-            s.report.absorb(&result);
-        };
-        for rank in start..end {
-            handle(corpus.observation(rank));
-        }
-        s
+        pipeline::run_range(corpus, checker, start, end, DifferentialPass::new()).into_summary()
     }
 }
 

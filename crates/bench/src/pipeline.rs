@@ -1,0 +1,761 @@
+//! Fused single-generation analysis pipeline.
+//!
+//! The paper's measurement loop runs *several* analyses over the same
+//! corpus — structural compliance (§4), differential client construction
+//! (§5), and the zlint-style lint pass — but each summary used to
+//! regenerate every [`DomainObservation`] from scratch (DRBG draws,
+//! certificate building, DER encoding, SHA-256 fingerprinting) once *per
+//! analysis*. The pipeline sweeps the rank range **once**, generates each
+//! observation a single time through a bounded per-worker
+//! [`ObservationStore`], and fans the borrowed observation to every
+//! registered [`AnalysisPass`].
+//!
+//! Contract (all three are load-bearing for the equivalence tests):
+//!
+//! 1. **Bit-identity** — `Pipeline::run` with a single pass produces
+//!    exactly the same summary as the pass's legacy `compute_with_threads`
+//!    entry point, for every thread count. Fusing passes never changes any
+//!    result, because passes only *read* the shared observation and the
+//!    shared [`IssuanceChecker`] cache is semantically transparent.
+//! 2. **Thread invariance** — workers own rank-ordered chunks (the same
+//!    `CCC_THREADS` chunk pattern as the legacy paths: sequential below
+//!    256 domains, `div_ceil` chunks above) and partials merge in
+//!    thread-index order, so results are identical for any worker count.
+//! 3. **Memory bound** — a worker holds at most
+//!    [`REUSE_WINDOW`]`.min(chunk)` observations at a time; whole-corpus
+//!    memory is O(threads × window), never O(corpus).
+//!
+//! Adding a pass: implement [`AnalysisPass`] (see DESIGN.md §12 for the
+//! contract), then hand it to [`Pipeline::run`] — tuples of passes are
+//! themselves passes, so `(CompliancePass::new(), LintPass::new())` fuses
+//! with no further plumbing.
+
+use crate::{threads_from_env, CorpusSummary, DifferentialSummary};
+use ccc_core::completeness::RootResolution;
+use ccc_core::report::{render_cache_stats, render_phase_split};
+use ccc_core::topology::CacheStats;
+use ccc_core::{
+    analyze_compliance_with_graph, Completeness, ComplianceReport, CompletenessAnalyzer,
+    DifferentialHarness, IncompleteReason, IssuanceChecker, NonCompliance, TopologyGraph,
+};
+use ccc_lint::{LintEngine, LintSummary};
+use ccc_rootstore::RootProgram;
+use ccc_testgen::corpus::scan_time;
+use ccc_testgen::{Corpus, DomainObservation, ObservationStore};
+use std::cell::OnceCell;
+use std::time::{Duration, Instant};
+
+/// Corpora below this many domains always run on one worker (matches the
+/// legacy `compute_with_threads` threshold; spawning threads for tiny
+/// corpora costs more than it saves and the tests straddle this value).
+pub const PARALLEL_THRESHOLD: usize = 256;
+
+/// Per-worker [`ObservationStore`] ring capacity. Each rank in a sweep is
+/// visited exactly once, so the window only needs to cover the
+/// currently-borrowed observation plus a little lookback slack; the
+/// worker's resident set is `REUSE_WINDOW.min(chunk)` observations.
+pub const REUSE_WINDOW: usize = 32;
+
+/// Everything a pass may borrow for the duration of one pipeline run.
+#[derive(Clone, Copy, Debug)]
+pub struct PassContext<'c> {
+    /// The corpus being swept.
+    pub corpus: &'c Corpus,
+    /// The shared sharded signature cache (one per run; every pass and
+    /// every worker hits the same cache).
+    pub checker: &'c IssuanceChecker,
+}
+
+/// Per-observation artifacts shared across fused passes, computed at most
+/// once per observation per sweep.
+///
+/// The three corpus analyses all start from the same two derived values —
+/// the issuance [`TopologyGraph`] over the served list and the aggregate
+/// [`ComplianceReport`] — so the pipeline hands every
+/// [`AnalysisPass::visit`] call a fresh memo and the *first* pass to need
+/// an artifact computes it for all of them. Equality is structural: every
+/// pass builds these with the same checker and the same unified-store
+/// analyzer configuration, so sharing is bit-identical to recomputing
+/// (the equivalence suite pins this).
+///
+/// Lives for exactly one observation; dropped before the next rank, so it
+/// never grows the pipeline's O(window) memory bound.
+#[derive(Debug, Default)]
+pub struct ObservationMemo {
+    graph: OnceCell<TopologyGraph>,
+    report: OnceCell<ComplianceReport>,
+}
+
+impl ObservationMemo {
+    /// The issuance topology graph over `obs.served` (built on first
+    /// use).
+    pub fn graph(&self, obs: &DomainObservation, checker: &IssuanceChecker) -> &TopologyGraph {
+        self.graph
+            .get_or_init(|| TopologyGraph::build(&obs.served, checker))
+    }
+
+    /// The aggregate compliance report for `obs` (computed on first use,
+    /// against the memoized graph).
+    pub fn report(
+        &self,
+        obs: &DomainObservation,
+        checker: &IssuanceChecker,
+        analyzer: &CompletenessAnalyzer<'_>,
+    ) -> &ComplianceReport {
+        // Written without `get_or_init` so the nested `self.graph(..)`
+        // init (a *different* cell) stays out of an init closure.
+        if self.report.get().is_none() {
+            let graph = self.graph(obs, checker);
+            let report = analyze_compliance_with_graph(&obs.domain, &obs.served, graph, analyzer);
+            let _ = self.report.set(report);
+        }
+        self.report.get().expect("initialized above")
+    }
+}
+
+/// One analysis over a stream of observations.
+///
+/// Lifecycle: the caller constructs a *root* pass (plain accumulator, no
+/// borrowed analyzers). For each worker chunk the pipeline calls
+/// [`begin`](Self::begin) to fork a fresh worker-local pass (this is where
+/// analyzers borrowing from the [`PassContext`] are built), feeds it every
+/// observation in its rank range via [`visit`](Self::visit), then folds
+/// finished workers back into the root with [`merge`](Self::merge) **in
+/// rank order**. [`finish`](Self::finish) runs once on the root after the
+/// last merge.
+pub trait AnalysisPass<'c>: Send + Sized {
+    /// Short label for metrics lines.
+    fn name(&self) -> &'static str;
+
+    /// Fork a fresh worker-local pass: empty accumulators, analyzers
+    /// wired to `ctx`.
+    fn begin(&self, ctx: PassContext<'c>) -> Self;
+
+    /// Fold one observation into this worker's accumulator. Observations
+    /// arrive in strictly increasing rank order within a worker. `memo`
+    /// carries the per-observation artifacts (topology graph, compliance
+    /// report) shared by every fused pass — prefer its accessors over
+    /// recomputing.
+    fn visit(&mut self, obs: &DomainObservation, memo: &ObservationMemo);
+
+    /// Fold a finished worker into `self`. Workers are merged in
+    /// rank-chunk order, so order-sensitive state (first-example maps,
+    /// finding lists) stays deterministic.
+    fn merge(&mut self, other: Self);
+
+    /// Hook that runs once on the root pass after all workers merged.
+    fn finish(&mut self, ctx: PassContext<'c>) {
+        let _ = ctx;
+    }
+
+    /// How many leaf passes this value fans out to (tuples sum their
+    /// members; used for the "consumed by N passes" metric).
+    fn pass_count(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! impl_pass_for_tuple {
+    ($($p:ident . $idx:tt),+) => {
+        impl<'c, $($p: AnalysisPass<'c>),+> AnalysisPass<'c> for ($($p,)+) {
+            fn name(&self) -> &'static str {
+                "fused"
+            }
+            fn begin(&self, ctx: PassContext<'c>) -> Self {
+                ($(self.$idx.begin(ctx),)+)
+            }
+            fn visit(&mut self, obs: &DomainObservation, memo: &ObservationMemo) {
+                $(self.$idx.visit(obs, memo);)+
+            }
+            fn merge(&mut self, other: Self) {
+                $(self.$idx.merge(other.$idx);)+
+            }
+            fn finish(&mut self, ctx: PassContext<'c>) {
+                $(self.$idx.finish(ctx);)+
+            }
+            fn pass_count(&self) -> usize {
+                0 $(+ self.$idx.pass_count())+
+            }
+        }
+    };
+}
+
+impl_pass_for_tuple!(A.0, B.1);
+impl_pass_for_tuple!(A.0, B.1, C.2);
+impl_pass_for_tuple!(A.0, B.1, C.2, D.3);
+
+/// Per-phase accounting for one [`Pipeline::run`].
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    /// Observations generated (each exactly once).
+    pub observations: usize,
+    /// Leaf passes the stream fanned out to.
+    pub passes: usize,
+    /// Worker count the sweep actually used.
+    pub threads: usize,
+    /// Time spent generating observations, summed across workers (CPU
+    /// time, so it can exceed `wall` on multi-core sweeps).
+    pub generation: Duration,
+    /// Time spent inside `visit`, summed across workers.
+    pub analysis: Duration,
+    /// End-to-end wall time of the sweep.
+    pub wall: Duration,
+    /// Signature-cache counter delta over the run (hits scored by any
+    /// pass count here — fused runs show the cross-pass savings).
+    pub cache: CacheStats,
+}
+
+impl PipelineStats {
+    /// Multi-line human rendering: the generation/analysis split plus the
+    /// cache-stat delta, in `render_cache_stats` style.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}",
+            render_phase_split(self.generation, self.analysis, self.observations, self.passes),
+            render_cache_stats(&self.cache)
+        )
+    }
+}
+
+/// The fused sweep executor. Construct with an explicit worker count
+/// ([`Pipeline::new`]) or from `CCC_THREADS` ([`Pipeline::from_env`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Pipeline {
+    threads: usize,
+}
+
+impl Pipeline {
+    /// A pipeline with an explicit worker count (values ≤ 1 run the
+    /// sweep on the calling thread).
+    pub fn new(threads: usize) -> Pipeline {
+        Pipeline { threads }
+    }
+
+    /// Worker count from `CCC_THREADS` (else detected cores, capped at
+    /// 16) — the same resolution every legacy `compute_with_checker`
+    /// entry point uses.
+    pub fn from_env() -> Pipeline {
+        Pipeline::new(threads_from_env())
+    }
+
+    /// The worker count this pipeline will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sweep the whole corpus once, generating each observation a single
+    /// time and fanning it to every pass in `root`. Returns the merged
+    /// root pass and the per-phase stats.
+    pub fn run<'c, P: AnalysisPass<'c>>(
+        &self,
+        corpus: &'c Corpus,
+        checker: &'c IssuanceChecker,
+        mut root: P,
+    ) -> (P, PipelineStats) {
+        let domains = corpus.spec.domains;
+        let ctx = PassContext { corpus, checker };
+        let cache_before = checker.snapshot_stats();
+        let wall_start = Instant::now();
+        let mut generation = Duration::ZERO;
+        let mut analysis = Duration::ZERO;
+        let threads = if self.threads <= 1 || domains < PARALLEL_THRESHOLD {
+            let worker = root.begin(ctx);
+            let (worker, g, a) = run_chunk(ctx, worker, 0, domains);
+            root.merge(worker);
+            generation += g;
+            analysis += a;
+            1
+        } else {
+            let chunk = domains.div_ceil(self.threads);
+            let workers: Vec<(P, Duration, Duration)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.threads)
+                    .map(|t| {
+                        // Clamped chunk edges: ranges partition
+                        // 0..domains even when threads does not divide
+                        // evenly (trailing workers may own empty ranges).
+                        let start = (t * chunk).min(domains);
+                        let end = ((t + 1) * chunk).min(domains);
+                        let worker = root.begin(ctx);
+                        scope.spawn(move || run_chunk(ctx, worker, start, end))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pipeline worker panicked"))
+                    .collect()
+            });
+            // Rank-order merge: workers were spawned in chunk order.
+            for (worker, g, a) in workers {
+                root.merge(worker);
+                generation += g;
+                analysis += a;
+            }
+            self.threads
+        };
+        root.finish(ctx);
+        let stats = PipelineStats {
+            observations: domains,
+            passes: root.pass_count(),
+            threads,
+            generation,
+            analysis,
+            wall: wall_start.elapsed(),
+            cache: checker.snapshot_stats().since(&cache_before),
+        };
+        (root, stats)
+    }
+}
+
+/// Run a forked worker pass over one rank range (the sequential kernel
+/// the legacy `compute_range` entry points delegate to). Each observation
+/// is generated once through a bounded [`ObservationStore`] and consumed
+/// by reference.
+pub fn run_range<'c, P: AnalysisPass<'c>>(
+    corpus: &'c Corpus,
+    checker: &'c IssuanceChecker,
+    start: usize,
+    end: usize,
+    root: P,
+) -> P {
+    let ctx = PassContext { corpus, checker };
+    let worker = root.begin(ctx);
+    run_chunk(ctx, worker, start, end).0
+}
+
+fn run_chunk<'c, P: AnalysisPass<'c>>(
+    ctx: PassContext<'c>,
+    mut worker: P,
+    start: usize,
+    end: usize,
+) -> (P, Duration, Duration) {
+    let window = REUSE_WINDOW.min(end.saturating_sub(start).max(1));
+    let mut store = ObservationStore::new(ctx.corpus, window);
+    let mut generation = Duration::ZERO;
+    let mut analysis = Duration::ZERO;
+    for rank in start..end {
+        let gen_start = Instant::now();
+        let obs = store.get(rank);
+        let visit_start = Instant::now();
+        let memo = ObservationMemo::default();
+        worker.visit(obs, &memo);
+        generation += visit_start.duration_since(gen_start);
+        analysis += visit_start.elapsed();
+    }
+    (worker, generation, analysis)
+}
+
+// ---------------------------------------------------------------------
+// Pass implementations for the three corpus analyses.
+// ---------------------------------------------------------------------
+
+/// Worker-local analyzer set for the structural-compliance pass (built in
+/// `begin`, absent on the root accumulator).
+#[derive(Debug)]
+struct ComplianceState<'c> {
+    checker: &'c IssuanceChecker,
+    analyzer: CompletenessAnalyzer<'c>,
+    no_aia_analyzer: CompletenessAnalyzer<'c>,
+    program_analyzers: Vec<(RootProgram, CompletenessAnalyzer<'c>, CompletenessAnalyzer<'c>)>,
+}
+
+/// [`AnalysisPass`] computing [`CorpusSummary`] (Tables 3, 5, 7, 8, 10,
+/// 11): the structural §4 analyses.
+#[derive(Debug, Default)]
+pub struct CompliancePass<'c> {
+    state: Option<ComplianceState<'c>>,
+    /// The accumulated summary (complete once the pipeline returns).
+    pub summary: CorpusSummary,
+}
+
+impl<'c> CompliancePass<'c> {
+    /// A fresh root accumulator.
+    pub fn new() -> CompliancePass<'c> {
+        CompliancePass::default()
+    }
+
+    /// Consume the pass, yielding the summary.
+    pub fn into_summary(self) -> CorpusSummary {
+        self.summary
+    }
+}
+
+impl<'c> AnalysisPass<'c> for CompliancePass<'c> {
+    fn name(&self) -> &'static str {
+        "compliance"
+    }
+
+    fn begin(&self, ctx: PassContext<'c>) -> Self {
+        let corpus = ctx.corpus;
+        let checker = ctx.checker;
+        let analyzer =
+            CompletenessAnalyzer::new(checker, corpus.programs.unified(), Some(&corpus.aia));
+        let no_aia_analyzer = CompletenessAnalyzer::new(checker, corpus.programs.unified(), None);
+        let program_analyzers: Vec<(RootProgram, CompletenessAnalyzer, CompletenessAnalyzer)> =
+            RootProgram::ALL
+                .iter()
+                .map(|&p| {
+                    (
+                        p,
+                        CompletenessAnalyzer::new(
+                            checker,
+                            corpus.programs.store(p),
+                            Some(&corpus.aia),
+                        ),
+                        CompletenessAnalyzer::new(checker, corpus.programs.store(p), None),
+                    )
+                })
+                .collect();
+        CompliancePass {
+            state: Some(ComplianceState {
+                checker,
+                analyzer,
+                no_aia_analyzer,
+                program_analyzers,
+            }),
+            summary: CorpusSummary::default(),
+        }
+    }
+
+    fn visit(&mut self, obs: &DomainObservation, memo: &ObservationMemo) {
+        let st = self
+            .state
+            .as_ref()
+            .expect("visit is only called on forked workers");
+        let s = &mut self.summary;
+        s.total += 1;
+        let report = memo.report(obs, st.checker, &st.analyzer);
+        *s.placement.entry(report.leaf_placement).or_insert(0) += 1;
+        *s.completeness
+            .entry(report.completeness.completeness)
+            .or_insert(0) += 1;
+        s.longest_list = s.longest_list.max(obs.served.len());
+
+        let order = &report.order;
+        let mut any_order = false;
+        if order.has_duplicates() {
+            s.dup_chains += 1;
+            any_order = true;
+            if order.duplicates.leaf > 0 {
+                s.dup_leaf_chains += 1;
+            }
+            if order.duplicates.intermediate > 0 {
+                s.dup_intermediate_chains += 1;
+            }
+            if order.duplicates.root > 0 {
+                s.dup_root_chains += 1;
+            }
+        }
+        if order.has_irrelevant() {
+            s.irrelevant_chains += 1;
+            any_order = true;
+        }
+        if order.has_multiple_paths() {
+            s.multipath_chains += 1;
+            any_order = true;
+        }
+        if order.has_reversed() {
+            s.reversed_chains += 1;
+            any_order = true;
+            if order.all_paths_reversed {
+                s.all_paths_reversed_chains += 1;
+            }
+        }
+        if any_order {
+            s.order_noncompliant += 1;
+        }
+        if !report.is_compliant() {
+            s.noncompliant += 1;
+        }
+
+        let comp = &report.completeness;
+        if comp.completeness == Completeness::Incomplete {
+            if comp.aia_completable {
+                s.aia_completable += 1;
+                if comp.missing_intermediates == 1 {
+                    s.missing_single_intermediate += 1;
+                }
+            } else if let Some(reason) = comp.incomplete_reason {
+                let label = match reason {
+                    IncompleteReason::NoAiaField => "AIA field missing",
+                    IncompleteReason::AiaUriDead => "AIA URI dead",
+                    IncompleteReason::AiaWrongCertificate => "AIA served wrong certificate",
+                    IncompleteReason::AiaChainNotTerminating => "AIA descent not terminating",
+                };
+                *s.incomplete_reasons.entry(label).or_insert(0) += 1;
+            }
+        }
+        if let Some(RootResolution::AiaResolved { .. }) = comp.resolution {
+            s.root_via_aia += 1;
+        }
+
+        // Table 8 passes.
+        let graph = memo.graph(obs, st.checker);
+        if !st.analyzer.client_complete(graph) {
+            s.unified_incomplete_with_aia += 1;
+        }
+        if !st.no_aia_analyzer.client_complete(graph) {
+            s.unified_incomplete_without_aia += 1;
+        }
+        for (program, with_aia, without_aia) in &st.program_analyzers {
+            let entry = s.store_completeness.entry(*program).or_default();
+            if !with_aia.client_complete(graph) {
+                entry.incomplete_with_aia += 1;
+            }
+            if !without_aia.client_complete(graph) {
+                entry.incomplete_without_aia += 1;
+            }
+        }
+
+        // Tables 10/11 cross-tabs.
+        let server_label = obs.server.display_name();
+        let ca_label = obs.ca;
+        for bucket in [
+            s.by_server.entry(server_label).or_default(),
+            s.by_ca.entry(ca_label).or_default(),
+        ] {
+            bucket.total += 1;
+            if !report.is_compliant() {
+                bucket.any += 1;
+            }
+            for finding in &report.findings {
+                match finding {
+                    NonCompliance::DuplicateCertificates => {
+                        bucket.duplicates += 1;
+                        if order.duplicates.leaf > 0 {
+                            bucket.duplicate_leaf += 1;
+                        }
+                    }
+                    NonCompliance::IrrelevantCertificates => bucket.irrelevant += 1,
+                    NonCompliance::MultiplePaths => bucket.multipath += 1,
+                    NonCompliance::ReversedSequence => bucket.reversed += 1,
+                    NonCompliance::IncompleteChain => bucket.incomplete += 1,
+                    NonCompliance::LeafMisplaced => {}
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.summary.total += other.summary.total;
+        self.summary.merge(other.summary);
+    }
+}
+
+/// Worker-local state for the differential pass.
+#[derive(Debug)]
+struct DifferentialState<'c> {
+    checker: &'c IssuanceChecker,
+    analyzer: CompletenessAnalyzer<'c>,
+    harness: DifferentialHarness<'c>,
+}
+
+/// [`AnalysisPass`] computing [`DifferentialSummary`] (§5.2, Tables 8–9):
+/// all eight client engines over every observation.
+#[derive(Debug, Default)]
+pub struct DifferentialPass<'c> {
+    state: Option<DifferentialState<'c>>,
+    /// The accumulated summary.
+    pub summary: DifferentialSummary,
+}
+
+impl<'c> DifferentialPass<'c> {
+    /// A fresh root accumulator.
+    pub fn new() -> DifferentialPass<'c> {
+        DifferentialPass::default()
+    }
+
+    /// Consume the pass, yielding the summary.
+    pub fn into_summary(self) -> DifferentialSummary {
+        self.summary
+    }
+}
+
+impl<'c> AnalysisPass<'c> for DifferentialPass<'c> {
+    fn name(&self) -> &'static str {
+        "differential"
+    }
+
+    fn begin(&self, ctx: PassContext<'c>) -> Self {
+        let corpus = ctx.corpus;
+        let checker = ctx.checker;
+        let analyzer =
+            CompletenessAnalyzer::new(checker, corpus.programs.unified(), Some(&corpus.aia));
+        let harness = DifferentialHarness::new(
+            corpus.programs.unified(),
+            Some(&corpus.aia),
+            corpus.intermediate_cache(),
+            scan_time(),
+            checker,
+        );
+        DifferentialPass {
+            state: Some(DifferentialState {
+                checker,
+                analyzer,
+                harness,
+            }),
+            summary: DifferentialSummary::default(),
+        }
+    }
+
+    fn visit(&mut self, obs: &DomainObservation, memo: &ObservationMemo) {
+        let st = self
+            .state
+            .as_ref()
+            .expect("visit is only called on forked workers");
+        let s = &mut self.summary;
+        s.corpus_total += 1;
+        let compliance = memo.report(obs, st.checker, &st.analyzer);
+        // Domain-aware run: hostname mismatches count as failures in
+        // every client (the paper's availability numbers include
+        // domain-mismatch and date errors, not just chain building).
+        let result = st.harness.run_for_domain(&obs.served, &obs.domain);
+        let lib_fail = result
+            .outcomes
+            .iter()
+            .any(|(k, o)| !k.is_browser() && !o.accepted());
+        let browser_fail = result
+            .outcomes
+            .iter()
+            .any(|(k, o)| k.is_browser() && !o.accepted());
+        if lib_fail {
+            s.corpus_library_failures += 1;
+        }
+        if browser_fail {
+            s.corpus_browser_failures += 1;
+        }
+        if compliance.is_compliant() {
+            return;
+        }
+        for cause in &result.causes {
+            s.cause_examples
+                .entry(*cause)
+                .or_insert_with(|| obs.domain.clone());
+        }
+        s.report.absorb(&result);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.summary.corpus_total += other.summary.corpus_total;
+        self.summary.merge(other.summary);
+    }
+}
+
+/// [`AnalysisPass`] computing [`LintSummary`]: the full rule registry plus
+/// the "non-compliant ⇔ ≥1 error finding" cross-check per chain.
+///
+/// Lives here (not in `ccc-lint`) because the pipeline is a `ccc-bench`
+/// facility and `ccc-bench` already depends on `ccc-lint`; the pass is a
+/// thin adapter over the public [`LintEngine`] /
+/// [`LintSummary::absorb_chain`] API, and the equivalence suite pins it
+/// bit-identical to `LintSummary::compute_with_threads`.
+#[derive(Debug, Default)]
+pub struct LintPass<'c> {
+    engine: Option<LintEngine<'c>>,
+    /// The accumulated summary.
+    pub summary: LintSummary,
+}
+
+impl<'c> LintPass<'c> {
+    /// A fresh root accumulator.
+    pub fn new() -> LintPass<'c> {
+        LintPass::default()
+    }
+
+    /// Consume the pass, yielding the summary.
+    pub fn into_summary(self) -> LintSummary {
+        self.summary
+    }
+}
+
+impl<'c> AnalysisPass<'c> for LintPass<'c> {
+    fn name(&self) -> &'static str {
+        "lint"
+    }
+
+    fn begin(&self, ctx: PassContext<'c>) -> Self {
+        LintPass {
+            engine: Some(LintEngine::new(
+                ctx.checker,
+                ctx.corpus.programs.unified(),
+                Some(&ctx.corpus.aia),
+                scan_time(),
+            )),
+            summary: LintSummary::default(),
+        }
+    }
+
+    fn visit(&mut self, obs: &DomainObservation, memo: &ObservationMemo) {
+        let engine = self
+            .engine
+            .as_ref()
+            .expect("visit is only called on forked workers");
+        let graph = memo.graph(obs, engine.checker());
+        let report = memo.report(obs, engine.checker(), engine.analyzer());
+        let findings = engine.lint_prepared(&obs.domain, &obs.served, graph, report);
+        self.summary.total += 1;
+        self.summary.absorb_chain(&obs.domain, report, findings);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.summary.merge(other.summary);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_corpus;
+
+    #[test]
+    fn fused_tuple_matches_standalone_passes() {
+        let corpus = scan_corpus(120);
+        let fused_checker = IssuanceChecker::new();
+        let ((compliance, lint), stats) = Pipeline::new(1).run(
+            &corpus,
+            &fused_checker,
+            (CompliancePass::new(), LintPass::new()),
+        );
+        assert_eq!(stats.observations, 120);
+        assert_eq!(stats.passes, 2);
+        assert_eq!(stats.threads, 1);
+
+        let checker = IssuanceChecker::new();
+        assert_eq!(
+            compliance.into_summary(),
+            CorpusSummary::compute_with_threads(&corpus, &checker, 1)
+        );
+        let checker = IssuanceChecker::new();
+        assert_eq!(
+            lint.into_summary(),
+            LintSummary::compute_with_threads(&corpus, &checker, 1)
+        );
+    }
+
+    #[test]
+    fn pipeline_stats_render_mentions_phases_and_cache() {
+        let corpus = scan_corpus(40);
+        let checker = IssuanceChecker::new();
+        let (_pass, stats) = Pipeline::new(1).run(&corpus, &checker, CompliancePass::new());
+        let text = stats.render();
+        assert!(text.contains("generated once"), "{text}");
+        assert!(text.contains("signature cache"), "{text}");
+        assert!(text.contains("generation"), "{text}");
+        assert!(text.contains("analysis"), "{text}");
+    }
+
+    #[test]
+    fn fused_run_saves_signature_verifications() {
+        // A fused (compliance, lint) sweep shares one checker, so the
+        // lint pass's topology rebuilds are all cache hits: verifications
+        // in the fused run must be no more than a compliance-only run.
+        let corpus = scan_corpus(80);
+        let fused = IssuanceChecker::new();
+        let _ = Pipeline::new(1).run(&corpus, &fused, (CompliancePass::new(), LintPass::new()));
+        let solo = IssuanceChecker::new();
+        let _ = Pipeline::new(1).run(&corpus, &solo, CompliancePass::new());
+        let fused_stats = fused.snapshot_stats();
+        let solo_stats = solo.snapshot_stats();
+        assert_eq!(fused_stats.verifications, solo_stats.verifications);
+        assert!(fused_stats.hits > solo_stats.hits);
+    }
+}

@@ -24,8 +24,11 @@ use crate::validate::{validate_path, ValidationOptions};
 use ccc_asn1::Time;
 use ccc_netsim::AiaRepository;
 use ccc_rootstore::RootStore;
-use ccc_x509::{Certificate, CertificateFingerprint};
-use std::collections::HashSet;
+use ccc_x509::{
+    Certificate, CertificateFingerprint, FingerprintBuildHasher, FingerprintMap, FingerprintSet,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Validity preference among candidate issuers (paper VP footnotes).
@@ -291,6 +294,96 @@ struct Candidate {
     trusted: bool,
 }
 
+/// The policy-independent part of the candidate pool: the deduplicated
+/// served list with trust-store membership resolved.
+///
+/// Every engine sharing a [`BuildContext`] starts from the *same* base
+/// pool (dedup order and trusted flags depend only on the served list and
+/// the store), so a caller fanning one observation out to many engines —
+/// the differential harness runs eight — can build this once and hand each
+/// engine a clone instead of re-hashing and re-probing the store per
+/// engine. Certificates are refcounted, so cloning the seed is cheap.
+#[derive(Clone, Debug)]
+pub(crate) struct PoolSeed {
+    pool: Vec<Candidate>,
+    seen: FingerprintSet,
+}
+
+impl PoolSeed {
+    /// Deduplicate the served list and resolve store membership. This is
+    /// the single source of truth for base-pool construction; the legacy
+    /// per-engine path in [`ChainEngine::process`] routes through it too.
+    pub(crate) fn build(served: &[Certificate], ctx: &BuildContext<'_>) -> PoolSeed {
+        let mut pool: Vec<Candidate> = Vec::new();
+        let mut seen = FingerprintSet::default();
+        for (pos, cert) in served.iter().enumerate() {
+            if seen.insert(cert.fingerprint()) {
+                pool.push(Candidate {
+                    trusted: ctx.store.contains(cert),
+                    cert: cert.clone(),
+                    origin: CandidateOrigin::Served { list_pos: pos },
+                });
+            }
+        }
+        PoolSeed { pool, seen }
+    }
+}
+
+/// Pre-resolved intermediate-cache candidates (origin
+/// [`CandidateOrigin::Cache`], trusted flags probed once).
+///
+/// The cache contents and the store don't change between observations, so
+/// a harness can build this once for its lifetime; at use the entries are
+/// still filtered against the per-observation `seen` set, reproducing the
+/// legacy per-engine loop bit for bit.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CachePool {
+    entries: Vec<Candidate>,
+}
+
+impl CachePool {
+    /// Resolve the cache contents against the store.
+    pub(crate) fn build(cache: &[Certificate], store: &RootStore) -> CachePool {
+        CachePool {
+            entries: cache
+                .iter()
+                .map(|cert| Candidate {
+                    trusted: store.contains(cert),
+                    cert: cert.clone(),
+                    origin: CandidateOrigin::Cache,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-served-list scratch shared across engines processing the same list
+/// under the same [`BuildContext`].
+///
+/// Every memo here caches a value that is fully determined by certificate
+/// contents plus the shared context — never by the engine's policy — so
+/// sharing it across engines cannot change any engine's outcome:
+///
+/// - **store candidates**: the roots related to a given certificate
+///   (subject/SKID lookups filtered by identity match) depend only on
+///   that certificate and the store;
+/// - **base issuer indices**: which base-pool entries identity-match as
+///   issuers of a given certificate depends only on the certificates;
+/// - **validations**: [`validate_path`] verdicts — every policy validates
+///   a finished path under the same (all-checks-on) options, so the
+///   verdict is a function of the path, the store, and the clock.
+///
+/// Keys are certificate fingerprints, so the scratch stays bounded by the
+/// certificates a single served list's searches touch; callers drop it
+/// with the observation.
+#[derive(Debug, Default)]
+pub(crate) struct RunScratch {
+    store_candidates: RefCell<FingerprintMap<Vec<Candidate>>>,
+    base_issuers: RefCell<FingerprintMap<Vec<u32>>>,
+    validations:
+        RefCell<HashMap<Vec<CertificateFingerprint>, Result<(), ClientError>, FingerprintBuildHasher>>,
+}
+
 /// The chain construction engine: a policy plus entry points.
 #[derive(Clone, Debug)]
 pub struct ChainEngine {
@@ -306,9 +399,36 @@ impl ChainEngine {
 
     /// Process a served certificate list: construct a path and validate it.
     pub fn process(&self, served: &[Certificate], ctx: &BuildContext<'_>) -> BuildOutcome {
+        let scratch = RunScratch::default();
         let mut stats = BuildStats::default();
         let cache_before = ctx.checker.counters();
-        let (path, verdict) = self.process_inner(served, ctx, &mut stats);
+        let (path, verdict) = self.process_inner(served, ctx, &mut stats, None, &scratch);
+        stats.cache = ctx.checker.counters().since(&cache_before);
+        BuildOutcome {
+            path,
+            verdict,
+            stats,
+        }
+    }
+
+    /// [`process`](Self::process) with a pre-built base pool and scratch
+    /// shared across engines. Bit-identical to `process`: the seed is
+    /// exactly what [`PoolSeed::build`] returns for `(served, ctx)`,
+    /// `cache_pool` resolves `ctx.cache` against `ctx.store`, and the
+    /// scratch only memoizes (certificate, store)-determined lookups; the
+    /// per-engine work that remains is the policy-dependent search itself.
+    pub(crate) fn process_with_seed(
+        &self,
+        served: &[Certificate],
+        ctx: &BuildContext<'_>,
+        seed: &PoolSeed,
+        cache_pool: &CachePool,
+        scratch: &RunScratch,
+    ) -> BuildOutcome {
+        let mut stats = BuildStats::default();
+        let cache_before = ctx.checker.counters();
+        let (path, verdict) =
+            self.process_inner(served, ctx, &mut stats, Some((seed, cache_pool)), scratch);
         stats.cache = ctx.checker.counters().since(&cache_before);
         BuildOutcome {
             path,
@@ -318,12 +438,15 @@ impl ChainEngine {
     }
 
     /// [`process`](Self::process) body; the caller wraps it with the
-    /// signature-cache counter delta.
+    /// signature-cache counter delta. With `seed`, the base pool is
+    /// borrowed from the shared [`PoolSeed`] instead of rebuilt.
     fn process_inner(
         &self,
         served: &[Certificate],
         ctx: &BuildContext<'_>,
         stats: &mut BuildStats,
+        seed: Option<(&PoolSeed, &CachePool)>,
+        scratch: &RunScratch,
     ) -> (Vec<Certificate>, Result<(), ClientError>) {
         let p = &self.policy;
 
@@ -341,42 +464,60 @@ impl ChainEngine {
             return (vec![leaf], Err(ClientError::SelfSignedLeaf));
         }
 
-        // Candidate pool: deduplicated served list (+ cache). AIA-fetched
-        // certificates are appended during the search.
-        let mut pool: Vec<Candidate> = Vec::new();
-        let mut seen: HashSet<CertificateFingerprint> = HashSet::new();
-        for (pos, cert) in served.iter().enumerate() {
-            if seen.insert(cert.fingerprint()) {
-                pool.push(Candidate {
-                    trusted: ctx.store.contains(cert),
-                    cert: cert.clone(),
-                    origin: CandidateOrigin::Served { list_pos: pos },
-                });
+        // Candidate pool: the deduplicated served list is the borrowed
+        // `base` (built once per served list when seeded), cache and
+        // AIA-fetched certificates join the per-engine `extra` overflow.
+        // The search iterates base-then-extra, which reproduces the old
+        // single-Vec append order exactly.
+        let owned_seed;
+        let (base, base_seen): (&[Candidate], &FingerprintSet) = match seed {
+            Some((s, _)) => (&s.pool, &s.seen),
+            None => {
+                owned_seed = PoolSeed::build(served, ctx);
+                (&owned_seed.pool, &owned_seed.seen)
             }
-        }
+        };
+        let mut extra: Vec<Candidate> = Vec::new();
+        let mut seen: Option<FingerprintSet> = None;
         if p.use_intermediate_cache {
-            for cert in ctx.cache {
-                if seen.insert(cert.fingerprint()) {
-                    pool.push(Candidate {
-                        trusted: ctx.store.contains(cert),
-                        cert: cert.clone(),
-                        origin: CandidateOrigin::Cache,
-                    });
+            let mut s = base_seen.clone();
+            match seed {
+                Some((_, cache_pool)) => {
+                    for cand in &cache_pool.entries {
+                        if s.insert(cand.cert.fingerprint()) {
+                            extra.push(cand.clone());
+                        }
+                    }
+                }
+                None => {
+                    for cert in ctx.cache {
+                        if s.insert(cert.fingerprint()) {
+                            extra.push(Candidate {
+                                trusted: ctx.store.contains(cert),
+                                cert: cert.clone(),
+                                origin: CandidateOrigin::Cache,
+                            });
+                        }
+                    }
                 }
             }
+            seen = Some(s);
         }
 
         let mut search = Search {
             engine: self,
             ctx,
-            pool,
+            base,
+            base_seen,
+            extra,
             seen,
+            scratch,
             stats,
             deepest: vec![leaf.clone()],
             first_error: None,
             expansions: 0,
         };
-        let mut on_path: HashSet<CertificateFingerprint> = HashSet::new();
+        let mut on_path = FingerprintSet::default();
         on_path.insert(leaf.fingerprint());
         let mut path = vec![leaf];
         let result = search.dfs(&mut path, &mut on_path, 0);
@@ -408,8 +549,18 @@ impl ChainEngine {
 struct Search<'e, 'c, 's> {
     engine: &'e ChainEngine,
     ctx: &'e BuildContext<'c>,
-    pool: Vec<Candidate>,
-    seen: HashSet<CertificateFingerprint>,
+    /// The shared, immutable base pool (deduplicated served list).
+    base: &'e [Candidate],
+    /// Fingerprints of the base pool (for dedup against additions).
+    base_seen: &'e FingerprintSet,
+    /// Per-engine pool overflow: cache candidates, then AIA fetches.
+    extra: Vec<Candidate>,
+    /// `base_seen` ∪ `extra` fingerprints, materialized lazily — only
+    /// engines that actually add certificates (cache preload, successful
+    /// AIA fetch) pay for the set.
+    seen: Option<FingerprintSet>,
+    /// Cross-engine memo for (certificate, store)-determined lookups.
+    scratch: &'e RunScratch,
     stats: &'s mut BuildStats,
     deepest: Vec<Certificate>,
     first_error: Option<ClientError>,
@@ -433,7 +584,7 @@ impl Search<'_, '_, '_> {
     fn dfs(
         &mut self,
         path: &mut Vec<Certificate>,
-        on_path: &mut HashSet<CertificateFingerprint>,
+        on_path: &mut FingerprintSet,
         depth: usize,
     ) -> Option<Vec<Certificate>> {
         let p = &self.engine.policy;
@@ -499,15 +650,32 @@ impl Search<'_, '_, '_> {
     }
 
     /// Terminal validation once a trusted anchor tops the path.
+    ///
+    /// [`ChainEngine::validation_options`] is policy-independent (every
+    /// profile validates a finished path with all checks on), so the
+    /// verdict for a given certificate sequence is shared through the
+    /// scratch: engines converging on the same path — the common case in
+    /// a differential run — validate it once.
     fn finish(
         &mut self,
         path: &mut [Certificate],
-        _on_path: &mut HashSet<CertificateFingerprint>,
+        _on_path: &mut FingerprintSet,
         _depth: usize,
     ) -> Option<Vec<Certificate>> {
         let p = &self.engine.policy;
-        let opts = self.engine.validation_options();
-        match validate_path(path, self.ctx.store, self.ctx.now, self.ctx.checker, &opts) {
+        let key: Vec<CertificateFingerprint> = path.iter().map(|c| c.fingerprint()).collect();
+        let memo_hit = self.scratch.validations.borrow().get(&key).copied();
+        let verdict = match memo_hit {
+            Some(v) => v,
+            None => {
+                let opts = self.engine.validation_options();
+                let v =
+                    validate_path(path, self.ctx.store, self.ctx.now, self.ctx.checker, &opts);
+                self.scratch.validations.borrow_mut().insert(key, v);
+                v
+            }
+        };
+        match verdict {
             Ok(()) => Some(path.to_vec()),
             Err(e) => {
                 self.note_error(e);
@@ -521,19 +689,49 @@ impl Search<'_, '_, '_> {
         }
     }
 
+    /// The candidate pool in append order: shared base, then per-engine
+    /// additions (cache preload, AIA fetches).
+    fn pool_iter(&self) -> impl Iterator<Item = &Candidate> {
+        self.base.iter().chain(self.extra.iter())
+    }
+
     /// Enumerate and rank candidate issuers for `current`.
     fn candidates_for(
-        &mut self,
+        &self,
         current: &Certificate,
         path_len: usize,
-        on_path: &HashSet<CertificateFingerprint>,
+        on_path: &FingerprintSet,
     ) -> Vec<Candidate> {
         let p = &self.engine.policy;
         let mut out: Vec<Candidate> = Vec::new();
 
         match p.scope {
             SearchScope::FullList => {
-                for cand in &self.pool {
+                // Base-pool identity matches come from the cross-engine
+                // memo (index order == pool order); per-engine extras are
+                // scanned directly. Together this reproduces the old
+                // base-then-extra filtered scan exactly.
+                let fp = current.fingerprint();
+                if !self.scratch.base_issuers.borrow().contains_key(&fp) {
+                    let idxs: Vec<u32> = self
+                        .base
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| IssuanceChecker::identity_match(&c.cert, current))
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    self.scratch.base_issuers.borrow_mut().insert(fp, idxs);
+                }
+                let memo = self.scratch.base_issuers.borrow();
+                for &idx in memo.get(&fp).expect("inserted above") {
+                    let cand = &self.base[idx as usize];
+                    if on_path.contains(&cand.cert.fingerprint()) {
+                        continue;
+                    }
+                    out.push(cand.clone());
+                }
+                drop(memo);
+                for cand in &self.extra {
                     if on_path.contains(&cand.cert.fingerprint()) {
                         continue;
                     }
@@ -547,12 +745,11 @@ impl Search<'_, '_, '_> {
                 // certificate's served position, in order; the parent test
                 // is the signature itself (partial validation).
                 let current_key = self
-                    .pool
-                    .iter()
+                    .pool_iter()
                     .find(|c| c.cert == *current)
                     .map(|c| c.origin.order_key())
                     .unwrap_or((0, 0));
-                for cand in &self.pool {
+                for cand in self.pool_iter() {
                     if cand.origin.order_key() <= current_key
                         || on_path.contains(&cand.cert.fingerprint())
                     {
@@ -567,35 +764,19 @@ impl Search<'_, '_, '_> {
         }
 
         // Trust store candidates: roots whose subject matches the current
-        // issuer DN or whose SKID matches the current AKID.
-        let mut store_candidates: Vec<Candidate> = Vec::new();
-        for root in self.ctx.store.find_by_subject(current.issuer()) {
-            store_candidates.push(Candidate {
-                cert: root.clone(),
-                origin: CandidateOrigin::Store,
-                trusted: true,
-            });
-        }
-        if let Some(akid) = current.akid_key_id() {
-            for root in self.ctx.store.find_by_skid(akid) {
-                store_candidates.push(Candidate {
-                    cert: root.clone(),
-                    origin: CandidateOrigin::Store,
-                    trusted: true,
-                });
-            }
-        }
-        for sc in store_candidates {
+        // issuer DN or whose SKID matches the current AKID, filtered down
+        // to the ones that actually relate to the current certificate.
+        // These depend only on (current, store), so the gathered list is
+        // memoized in the cross-engine scratch; the on-path and
+        // already-pooled exclusions below stay per call.
+        for sc in self.store_candidates_for(current) {
             if on_path.contains(&sc.cert.fingerprint()) {
                 continue;
             }
             if out.iter().any(|c| c.cert == sc.cert) {
                 continue;
             }
-            // Store candidates must actually relate to the current cert.
-            if IssuanceChecker::identity_match(&sc.cert, current) {
-                out.push(sc);
-            }
+            out.push(sc);
         }
 
         if p.partial_validation {
@@ -604,16 +785,48 @@ impl Search<'_, '_, '_> {
 
         if p.scope == SearchScope::FullList {
             let now = self.ctx.now;
-            let keys: Vec<(usize, CandidateKey)> = out
-                .iter()
-                .enumerate()
-                .map(|(i, cand)| (i, self.rank(cand, current, path_len, now)))
+            let mut keyed: Vec<(CandidateKey, Candidate)> = out
+                .into_iter()
+                .map(|cand| (self.rank(&cand, current, path_len, now), cand))
                 .collect();
-            let mut order: Vec<usize> = (0..out.len()).collect();
-            order.sort_by(|&a, &b| keys[a].1.cmp(&keys[b].1));
-            out = order.into_iter().map(|i| out[i].clone()).collect();
+            // Stable by key — ties keep enumeration order, exactly as the
+            // old index sort did.
+            keyed.sort_by(|a, b| a.0.cmp(&b.0));
+            out = keyed.into_iter().map(|(_, cand)| cand).collect();
         }
         out
+    }
+
+    /// Trust-store candidates related to `current` (subject/SKID matches
+    /// that pass the identity check), via the cross-engine memo.
+    fn store_candidates_for(&self, current: &Certificate) -> Vec<Candidate> {
+        let fp = current.fingerprint();
+        if let Some(hit) = self.scratch.store_candidates.borrow().get(&fp) {
+            return hit.clone();
+        }
+        let mut gathered: Vec<Candidate> = Vec::new();
+        for root in self.ctx.store.find_by_subject(current.issuer()) {
+            gathered.push(Candidate {
+                cert: root.clone(),
+                origin: CandidateOrigin::Store,
+                trusted: true,
+            });
+        }
+        if let Some(akid) = current.akid_key_id() {
+            for root in self.ctx.store.find_by_skid(akid) {
+                gathered.push(Candidate {
+                    cert: root.clone(),
+                    origin: CandidateOrigin::Store,
+                    trusted: true,
+                });
+            }
+        }
+        gathered.retain(|sc| IssuanceChecker::identity_match(&sc.cert, current));
+        self.scratch
+            .store_candidates
+            .borrow_mut()
+            .insert(fp, gathered.clone());
+        gathered
     }
 
     /// MbedTLS-style in-construction checks.
@@ -753,8 +966,18 @@ impl Search<'_, '_, '_> {
             cert: fetched,
             origin: CandidateOrigin::Aia,
         };
-        if self.seen.insert(candidate.cert.fingerprint()) {
-            self.pool.push(candidate.clone());
+        // Join the pool (deduplicated) so later expansions can reuse the
+        // fetch; the seen set is materialized on first need.
+        if self.seen.is_none() {
+            let mut s = self.base_seen.clone();
+            for cand in &self.extra {
+                s.insert(cand.cert.fingerprint());
+            }
+            self.seen = Some(s);
+        }
+        let seen = self.seen.as_mut().expect("materialized above");
+        if seen.insert(candidate.cert.fingerprint()) {
+            self.extra.push(candidate.clone());
         }
         Some(candidate)
     }

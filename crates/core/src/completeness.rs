@@ -181,7 +181,7 @@ impl<'a> CompletenessAnalyzer<'a> {
         let paths = graph.leaf_paths(64);
         for path in &paths {
             let terminal = &graph.nodes[*path.last().expect("non-empty")].cert;
-            if terminal.is_self_signed() {
+            if self.self_signed(terminal) {
                 if self.store.contains(terminal) {
                     return true;
                 }
@@ -199,15 +199,25 @@ impl<'a> CompletenessAnalyzer<'a> {
         false
     }
 
+    /// Self-signed check routed through the shared signature cache:
+    /// semantically identical to [`Certificate::is_self_signed`]
+    /// (`is_self_issued` + self-key verification), but the Schnorr
+    /// verification is memoized under the `(cert, cert)` pair key, so the
+    /// per-program analyzers and fused pipeline passes that resolve the
+    /// same terminal hundreds of times pay it once.
+    fn self_signed(&self, cert: &Certificate) -> bool {
+        cert.is_self_issued() && self.checker.signature_verifies(cert, cert)
+    }
+
     fn skid_match(&self, terminal: &Certificate) -> bool {
         match terminal.akid_key_id() {
-            Some(akid) => !self.store.find_by_skid(akid).is_empty(),
+            Some(akid) => self.store.has_skid(akid),
             None => false,
         }
     }
 
     fn resolve_terminal(&self, terminal: &Certificate) -> TerminalOutcome {
-        if terminal.is_self_signed() {
+        if self.self_signed(terminal) {
             return TerminalOutcome::SelfSignedIncluded;
         }
         if self.skid_match(terminal) {
@@ -236,7 +246,7 @@ impl<'a> CompletenessAnalyzer<'a> {
             if !self.checker.issues(&fetched, &current) {
                 return TerminalOutcome::Failed(IncompleteReason::AiaWrongCertificate);
             }
-            if fetched.is_self_signed() {
+            if self.self_signed(&fetched) {
                 let in_store = self.store.contains(&fetched);
                 return TerminalOutcome::AiaRoot { fetches, in_store };
             }

@@ -64,10 +64,23 @@ pub fn analyze_compliance(
     checker: &IssuanceChecker,
     completeness_analyzer: &CompletenessAnalyzer<'_>,
 ) -> ComplianceReport {
-    let leaf_placement = classify_leaf_placement(domain, served);
     let graph = TopologyGraph::build(served, checker);
-    let order = analyze_order_with_graph(&graph);
-    let completeness = completeness_analyzer.analyze_graph(&graph);
+    analyze_compliance_with_graph(domain, served, &graph, completeness_analyzer)
+}
+
+/// [`analyze_compliance`] against a topology graph the caller already
+/// built for the same served list. The fused pipeline computes the graph
+/// once per observation and shares it across passes; results are
+/// identical to [`analyze_compliance`], which delegates here.
+pub fn analyze_compliance_with_graph(
+    domain: &str,
+    served: &[Certificate],
+    graph: &TopologyGraph,
+    completeness_analyzer: &CompletenessAnalyzer<'_>,
+) -> ComplianceReport {
+    let leaf_placement = classify_leaf_placement(domain, served);
+    let order = analyze_order_with_graph(graph);
+    let completeness = completeness_analyzer.analyze_graph(graph);
 
     let mut findings = Vec::new();
     // Only *incorrect placement* violates rule 1; the "Other" class

@@ -5,7 +5,9 @@
 //! I-1 missing order reorganization, I-2 list-length limits, I-3 missing
 //! backtracking, I-4 missing AIA completion.
 
-use crate::builder::{BuildContext, BuildOutcome, ClientError, SearchScope};
+use crate::builder::{
+    BuildContext, BuildOutcome, CachePool, ClientError, PoolSeed, RunScratch, SearchScope,
+};
 use crate::clients::{client_profiles, ClientKind};
 use crate::topology::IssuanceChecker;
 use ccc_asn1::Time;
@@ -164,6 +166,9 @@ pub struct DifferentialHarness<'a> {
     aia: Option<&'a AiaRepository>,
     /// Firefox-style intermediate cache contents.
     cache: Vec<Certificate>,
+    /// `cache` pre-resolved against `store` (built once; the cache and the
+    /// store don't change over the harness lifetime).
+    cache_pool: CachePool,
     now: Time,
     checker: &'a IssuanceChecker,
 }
@@ -177,11 +182,13 @@ impl<'a> DifferentialHarness<'a> {
         now: Time,
         checker: &'a IssuanceChecker,
     ) -> DifferentialHarness<'a> {
+        let cache_pool = CachePool::build(&cache, store);
         DifferentialHarness {
             clients: client_profiles(),
             store,
             aia,
             cache,
+            cache_pool,
             now,
             checker,
         }
@@ -209,6 +216,11 @@ impl<'a> DifferentialHarness<'a> {
     }
 
     /// Run all clients on one served list.
+    ///
+    /// The base candidate pool (served-list dedup + trust-store probes) is
+    /// identical for every engine sharing this harness's context, so it is
+    /// built once per served list and cloned into each of the eight
+    /// engines rather than rebuilt eight times.
     pub fn run(&self, served: &[Certificate]) -> DifferentialResult {
         let ctx = BuildContext {
             store: self.store,
@@ -217,10 +229,14 @@ impl<'a> DifferentialHarness<'a> {
             now: self.now,
             checker: self.checker,
         };
+        let seed = PoolSeed::build(served, &ctx);
+        let scratch = RunScratch::default();
         let outcomes: Vec<(ClientKind, BuildOutcome)> = self
             .clients
             .iter()
-            .map(|(kind, engine)| (*kind, engine.process(served, &ctx)))
+            .map(|(kind, engine)| {
+                (*kind, engine.process_with_seed(served, &ctx, &seed, &self.cache_pool, &scratch))
+            })
             .collect();
         let causes = attribute_causes(&outcomes);
         DifferentialResult { outcomes, causes }

@@ -34,7 +34,9 @@ pub mod validate;
 pub use builder::{BuildContext, BuildOutcome, BuildStats, BuilderPolicy, CandidateOrigin,
     ChainEngine, ClientError, KidPriority, SearchScope, ValidityPriority};
 pub use clients::{client_profiles, ClientKind};
-pub use compliance::{analyze_compliance, ComplianceReport, NonCompliance};
+pub use compliance::{
+    analyze_compliance, analyze_compliance_with_graph, ComplianceReport, NonCompliance,
+};
 pub use completeness::{Completeness, CompletenessAnalysis, CompletenessAnalyzer, IncompleteReason};
 pub use differential::{DifferentialHarness, DifferentialReport, DifferentialResult, DiscrepancyCause};
 pub use leaf::{classify_leaf_placement, LeafPlacement};

@@ -142,9 +142,73 @@ pub fn render_cache_stats(stats: &crate::topology::CacheStats) -> String {
     line
 }
 
+/// Two-line rendering of a fused sweep's per-phase wall-time split, in
+/// the same one-line-metric style as [`render_cache_stats`]:
+///
+/// ```text
+/// pipeline: 1,000 observation(s) generated once, consumed by 3 pass(es)
+/// phase split: generation 1.243s (62.1%) · analysis 0.758s (37.9%)
+/// ```
+///
+/// `generation` is the time spent producing the inputs (corpus
+/// observation synthesis, or chain parsing for the CLI), `analysis` the
+/// time spent inside the registered passes; both are summed across
+/// workers, so they are CPU time on parallel sweeps.
+pub fn render_phase_split(
+    generation: std::time::Duration,
+    analysis: std::time::Duration,
+    observations: usize,
+    passes: usize,
+) -> String {
+    let total = (generation + analysis).as_secs_f64();
+    let pct = |d: std::time::Duration| {
+        if total <= f64::EPSILON {
+            0.0
+        } else {
+            100.0 * d.as_secs_f64() / total
+        }
+    };
+    format!(
+        "pipeline: {} observation(s) generated once, consumed by {} pass(es)\n\
+         phase split: generation {:.3}s ({:.1}%) · analysis {:.3}s ({:.1}%)",
+        group_thousands(observations),
+        passes,
+        generation.as_secs_f64(),
+        pct(generation),
+        analysis.as_secs_f64(),
+        pct(analysis),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_split_renders_percentages() {
+        let text = render_phase_split(
+            std::time::Duration::from_millis(750),
+            std::time::Duration::from_millis(250),
+            1234,
+            3,
+        );
+        assert!(text.contains("1,234 observation(s)"), "{text}");
+        assert!(text.contains("consumed by 3 pass(es)"), "{text}");
+        assert!(text.contains("generation 0.750s (75.0%)"), "{text}");
+        assert!(text.contains("analysis 0.250s (25.0%)"), "{text}");
+    }
+
+    #[test]
+    fn phase_split_zero_duration_is_finite() {
+        let text = render_phase_split(
+            std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+            0,
+            1,
+        );
+        assert!(text.contains("(0.0%)"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
 
     #[test]
     fn thousands_grouping() {

@@ -6,7 +6,7 @@
 //! issuer to subject. All paths are enumerated starting from the leaf
 //! (`C0`) and walking issuer-ward.
 
-use ccc_x509::{Certificate, CertificateFingerprint};
+use ccc_x509::{Certificate, CertificateFingerprint, FingerprintBuildHasher, FingerprintMap};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -24,7 +24,9 @@ type PairKey = (CertificateFingerprint, CertificateFingerprint);
 /// recomputing).
 #[derive(Debug, Default)]
 struct Shard {
-    map: Mutex<HashMap<PairKey, Arc<OnceLock<bool>>>>,
+    /// Keys are SHA-256 fingerprint pairs, so the map skips SipHash in
+    /// favour of the cheap fingerprint fold (`FingerprintBuildHasher`).
+    map: Mutex<HashMap<PairKey, Arc<OnceLock<bool>>, FingerprintBuildHasher>>,
 }
 
 /// Point-in-time counters from an [`IssuanceChecker`]
@@ -284,7 +286,7 @@ impl TopologyGraph {
     /// certificates issuing themselves) are not recorded as edges.
     pub fn build(served: &[Certificate], checker: &IssuanceChecker) -> TopologyGraph {
         let mut nodes: Vec<Node> = Vec::new();
-        let mut index_of: HashMap<CertificateFingerprint, usize> = HashMap::new();
+        let mut index_of: FingerprintMap<usize> = FingerprintMap::default();
         for (pos, cert) in served.iter().enumerate() {
             match index_of.get(&cert.fingerprint()) {
                 Some(&idx) => nodes[idx].duplicate_positions.push(pos),

@@ -2,7 +2,7 @@
 //! evaluation context handed to every rule.
 
 use ccc_asn1::{Encoder, Time};
-use ccc_core::{ComplianceReport, TopologyGraph};
+use ccc_core::{ComplianceReport, IssuanceChecker, TopologyGraph};
 use ccc_x509::Certificate;
 use std::fmt;
 
@@ -125,6 +125,12 @@ pub struct ChainContext<'a> {
     pub report: &'a ComplianceReport,
     /// The simulated scan instant (never the ambient clock).
     pub now: Time,
+    /// The shared signature cache. Rules that need signature facts (e.g.
+    /// the self-signed-root check) route through this instead of
+    /// re-running Schnorr verification per chain — under the fused
+    /// pipeline the same `(cert, cert)` pair is already memoized by the
+    /// compliance analysis.
+    pub checker: &'a IssuanceChecker,
     /// `der_offsets[i]` is the byte offset of `served[i]` within the
     /// concatenated served DER stream; one extra trailing entry holds the
     /// total length.
@@ -139,6 +145,7 @@ impl<'a> ChainContext<'a> {
         graph: &'a TopologyGraph,
         report: &'a ComplianceReport,
         now: Time,
+        checker: &'a IssuanceChecker,
     ) -> ChainContext<'a> {
         let mut der_offsets = Vec::with_capacity(served.len() + 1);
         let mut offset = 0usize;
@@ -153,8 +160,16 @@ impl<'a> ChainContext<'a> {
             graph,
             report,
             now,
+            checker,
             der_offsets,
         }
+    }
+
+    /// Cache-routed equivalent of [`Certificate::is_self_signed`]: same
+    /// predicate, but the Schnorr verification is memoized on the shared
+    /// checker under the `(cert, cert)` pair key.
+    pub fn is_self_signed(&self, cert: &Certificate) -> bool {
+        cert.is_self_issued() && self.checker.signature_verifies(cert, cert)
     }
 
     /// Chain-level finding (no specific certificate).

@@ -5,15 +5,15 @@
 //! `CCC_THREADS` workers with bit-identical results for every thread count
 //! (rank-ordered chunks, partials merged in thread-index order), and
 //! cross-checks the severity contract on every chain: a chain is
-//! non-compliant per [`analyze_compliance`] **iff** linting it yields at
+//! non-compliant per [`ccc_core::analyze_compliance`] **iff** linting it yields at
 //! least one `Error`-severity finding.
 
 use crate::diag::{ChainContext, Finding, Severity};
 use crate::rules::registry;
 use ccc_asn1::Time;
 use ccc_core::{
-    analyze_compliance, ComplianceReport, CompletenessAnalyzer, IssuanceChecker, NonCompliance,
-    TopologyGraph,
+    analyze_compliance_with_graph, ComplianceReport, CompletenessAnalyzer, IssuanceChecker,
+    NonCompliance, TopologyGraph,
 };
 use ccc_netsim::AiaRepository;
 use ccc_rootstore::RootStore;
@@ -89,6 +89,18 @@ impl<'a> LintEngine<'a> {
         self.now
     }
 
+    /// The shared signature cache this engine lints against.
+    pub fn checker(&self) -> &'a IssuanceChecker {
+        self.checker
+    }
+
+    /// The completeness analyzer this engine computes compliance reports
+    /// with (same configuration as the compliance pass: one shared
+    /// report is valid for both).
+    pub fn analyzer(&self) -> &CompletenessAnalyzer<'a> {
+        &self.analyzer
+    }
+
     /// Lint one (domain, served list) observation.
     pub fn lint_chain(&self, domain: &str, served: &[Certificate]) -> Vec<Finding> {
         self.lint_chain_with_report(domain, served).1
@@ -101,16 +113,32 @@ impl<'a> LintEngine<'a> {
         domain: &str,
         served: &[Certificate],
     ) -> (ComplianceReport, Vec<Finding>) {
-        let report = analyze_compliance(domain, served, self.checker, &self.analyzer);
-        // Second build is entirely cache hits on the shared checker.
+        // Single graph build serves both the compliance analysis and the
+        // rule context (cache hits on the shared checker either way).
         let graph = TopologyGraph::build(served, self.checker);
-        let ctx = ChainContext::new(domain, served, &graph, &report, self.now);
+        let report = analyze_compliance_with_graph(domain, served, &graph, &self.analyzer);
+        let findings = self.lint_prepared(domain, served, &graph, &report);
+        (report, findings)
+    }
+
+    /// Run the rule registry against artifacts the caller already built
+    /// for this observation (the fused pipeline shares one
+    /// [`TopologyGraph`] and one [`ComplianceReport`] across passes).
+    /// [`LintEngine::lint_chain_with_report`] delegates here, so results
+    /// are identical by construction.
+    pub fn lint_prepared(
+        &self,
+        domain: &str,
+        served: &[Certificate],
+        graph: &TopologyGraph,
+        report: &ComplianceReport,
+    ) -> Vec<Finding> {
+        let ctx = ChainContext::new(domain, served, graph, report, self.now, self.checker);
         let mut findings = Vec::new();
         for rule in registry() {
             rule.check(&ctx, &mut findings);
         }
-        drop(ctx);
-        (report, findings)
+        findings
     }
 }
 
@@ -260,7 +288,11 @@ impl LintSummary {
             .extend(findings.into_iter().filter(|f| f.severity == Severity::Error));
     }
 
-    fn merge(&mut self, other: LintSummary) {
+    /// Fold a worker partial into this summary (rank-chunk order matters
+    /// for `error_findings`/`consistency_violations`: merge partials in
+    /// ascending rank order to keep results thread-count invariant).
+    /// Public so `ccc-bench`'s fused pipeline `LintPass` can reuse it.
+    pub fn merge(&mut self, other: LintSummary) {
         self.total += other.total;
         self.findings_total += other.findings_total;
         for (k, v) in other.rule_hits {

@@ -722,7 +722,7 @@ impl LintRule for RootIncluded {
     }
     fn check(&self, ctx: &ChainContext<'_>, out: &mut Vec<Finding>) {
         for (i, cert) in ctx.served.iter().enumerate() {
-            if i > 0 && cert.is_self_signed() {
+            if i > 0 && ctx.is_self_signed(cert) {
                 out.push(ctx.finding_at(
                     self,
                     i,

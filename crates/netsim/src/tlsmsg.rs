@@ -55,13 +55,30 @@ fn push_u24(out: &mut Vec<u8>, v: usize) -> Result<(), TlsMsgError> {
     Ok(())
 }
 
+/// Checked cursor advance: `pos + n` without overflow (adversarial
+/// lengths can push a naive cursor past `usize::MAX`; any overflow means
+/// the declared structure cannot fit in the input, i.e. truncation).
+fn advance(pos: usize, n: usize) -> Result<usize, TlsMsgError> {
+    pos.checked_add(n).ok_or(TlsMsgError::Truncated)
+}
+
 fn read_u24(data: &[u8], pos: &mut usize) -> Result<usize, TlsMsgError> {
-    if data.len() < *pos + 3 {
-        return Err(TlsMsgError::Truncated);
-    }
-    let v = ((data[*pos] as usize) << 16) | ((data[*pos + 1] as usize) << 8) | data[*pos + 2] as usize;
-    *pos += 3;
+    let end = advance(*pos, 3)?;
+    let bytes = data.get(*pos..end).ok_or(TlsMsgError::Truncated)?;
+    let v = ((bytes[0] as usize) << 16) | ((bytes[1] as usize) << 8) | bytes[2] as usize;
+    *pos = end;
     Ok(v)
+}
+
+/// Pre-size the certificate vec from the declared list length: every
+/// entry costs at least a 3-byte length header, so `list_len / 3` bounds
+/// the entry count; the cap keeps a hostile 2^24-1 declaration from
+/// reserving more than a sane chain's worth up front (the vec still
+/// grows organically if a real list is longer).
+fn presize_certs(list_len: usize) -> Vec<Certificate> {
+    const CERT_ENTRY_MIN_BYTES: usize = 3;
+    const PRESIZE_CAP: usize = 64;
+    Vec::with_capacity((list_len / CERT_ENTRY_MIN_BYTES).min(PRESIZE_CAP))
 }
 
 /// Encode a TLS 1.2 Certificate handshake message from a certificate list.
@@ -93,23 +110,24 @@ pub fn decode_tls12(msg: &[u8]) -> Result<Vec<Certificate>, TlsMsgError> {
     }
     pos += 1;
     let body_len = read_u24(msg, &mut pos)?;
-    if msg.len() != pos + body_len {
+    if Some(msg.len()) != pos.checked_add(body_len) {
         return Err(TlsMsgError::LengthMismatch);
     }
     let list_len = read_u24(msg, &mut pos)?;
-    if body_len != list_len + 3 {
+    if list_len.checked_add(3) != Some(body_len) {
         return Err(TlsMsgError::LengthMismatch);
     }
-    let end = pos + list_len;
-    let mut certs = Vec::new();
+    let end = advance(pos, list_len)?;
+    let mut certs = presize_certs(list_len);
     while pos < end {
         let cert_len = read_u24(msg, &mut pos)?;
-        if pos + cert_len > end {
+        let cert_end = advance(pos, cert_len)?;
+        if cert_end > end {
             return Err(TlsMsgError::Truncated);
         }
-        let cert = Certificate::from_der(&msg[pos..pos + cert_len])
-            .map_err(TlsMsgError::BadCertificate)?;
-        pos += cert_len;
+        let cert =
+            Certificate::from_der(&msg[pos..cert_end]).map_err(TlsMsgError::BadCertificate)?;
+        pos = cert_end;
         certs.push(cert);
     }
     Ok(certs)
@@ -148,35 +166,34 @@ pub fn decode_tls13(msg: &[u8]) -> Result<Vec<Certificate>, TlsMsgError> {
     }
     pos += 1;
     let body_len = read_u24(msg, &mut pos)?;
-    if msg.len() != pos + body_len {
+    if Some(msg.len()) != pos.checked_add(body_len) {
         return Err(TlsMsgError::LengthMismatch);
     }
     // certificate_request_context
-    if msg.len() < pos + 1 {
-        return Err(TlsMsgError::Truncated);
-    }
-    let ctx_len = msg[pos] as usize;
-    pos += 1 + ctx_len;
+    let ctx_len = *msg.get(pos).ok_or(TlsMsgError::Truncated)? as usize;
+    pos = advance(pos, 1 + ctx_len)?;
     let list_len = read_u24(msg, &mut pos)?;
-    let end = pos + list_len;
+    let end = advance(pos, list_len)?;
     if end > msg.len() {
         return Err(TlsMsgError::Truncated);
     }
-    let mut certs = Vec::new();
+    let mut certs = presize_certs(list_len);
     while pos < end {
         let cert_len = read_u24(msg, &mut pos)?;
-        if pos + cert_len > end {
+        let cert_end = advance(pos, cert_len)?;
+        if cert_end > end {
             return Err(TlsMsgError::Truncated);
         }
-        let cert = Certificate::from_der(&msg[pos..pos + cert_len])
-            .map_err(TlsMsgError::BadCertificate)?;
-        pos += cert_len;
-        // extensions
-        if pos + 2 > end {
+        let cert =
+            Certificate::from_der(&msg[pos..cert_end]).map_err(TlsMsgError::BadCertificate)?;
+        pos = cert_end;
+        // extensions<0..2^16-1>
+        let ext_end = advance(pos, 2)?;
+        if ext_end > end {
             return Err(TlsMsgError::Truncated);
         }
         let ext_len = ((msg[pos] as usize) << 8) | msg[pos + 1] as usize;
-        pos += 2 + ext_len;
+        pos = advance(ext_end, ext_len)?;
         if pos > end {
             return Err(TlsMsgError::Truncated);
         }
@@ -255,6 +272,85 @@ mod tests {
         let mut msg = encode_tls12(&certs).unwrap();
         msg[3] = msg[3].wrapping_add(1); // corrupt outer length
         assert!(decode_tls12(&msg).is_err());
+    }
+
+    #[test]
+    fn read_u24_near_usize_max_cursor_is_truncated() {
+        // A cursor already pushed near usize::MAX must not overflow when
+        // advanced by the 3-byte read; it reports truncation instead.
+        let data = [0u8; 8];
+        let mut pos = usize::MAX - 1;
+        assert_eq!(read_u24(&data, &mut pos), Err(TlsMsgError::Truncated));
+        // Cursor unchanged on failure.
+        assert_eq!(pos, usize::MAX - 1);
+    }
+
+    #[test]
+    fn max_u24_lengths_on_tiny_input_do_not_panic_or_allocate() {
+        // Outer body length declared as 2^24-1 on a 4-byte message.
+        let msg = [HANDSHAKE_TYPE_CERTIFICATE, 0xff, 0xff, 0xff];
+        assert_eq!(decode_tls12(&msg), Err(TlsMsgError::LengthMismatch));
+        assert_eq!(decode_tls13(&msg), Err(TlsMsgError::LengthMismatch));
+
+        // Consistent outer length but max-u24 inner list length: the
+        // declared list cannot fit, and pre-sizing must stay capped (a
+        // hostile declaration must not reserve 16 MiB worth of entries).
+        let mut msg = vec![HANDSHAKE_TYPE_CERTIFICATE];
+        push_u24(&mut msg, 3).unwrap(); // body = just the list length
+        msg.extend_from_slice(&[0xff, 0xff, 0xff]); // list_len = 0xffffff
+        assert_eq!(decode_tls12(&msg), Err(TlsMsgError::LengthMismatch));
+
+        let cap = presize_certs(0xff_ffff).capacity();
+        assert!(cap <= 64, "presize cap leaked: {cap}");
+    }
+
+    #[test]
+    fn tls12_max_cert_len_inside_short_list_is_truncated() {
+        // Well-formed outer framing, one entry claiming 2^24-1 bytes.
+        let mut list = Vec::new();
+        push_u24(&mut list, 0xff_ffff).unwrap();
+        let mut body = Vec::new();
+        push_u24(&mut body, list.len()).unwrap();
+        body.extend_from_slice(&list);
+        let mut msg = vec![HANDSHAKE_TYPE_CERTIFICATE];
+        push_u24(&mut msg, body.len()).unwrap();
+        msg.extend_from_slice(&body);
+        assert_eq!(decode_tls12(&msg), Err(TlsMsgError::Truncated));
+    }
+
+    #[test]
+    fn tls13_corrupt_context_and_extension_lengths_are_truncated() {
+        // ctx_len = 0xff with no context bytes behind it.
+        let mut body = vec![0xffu8];
+        let mut msg = vec![HANDSHAKE_TYPE_CERTIFICATE];
+        push_u24(&mut msg, body.len()).unwrap();
+        msg.extend_from_slice(&body);
+        assert_eq!(decode_tls13(&msg), Err(TlsMsgError::Truncated));
+
+        // Valid message, then corrupt a per-entry ext_len to 0xffff so the
+        // cursor would run past the list end.
+        let certs = chain();
+        let good = encode_tls13(&certs).unwrap();
+        // First entry's ext bytes sit right after its DER; find them by
+        // re-walking the framing.
+        let mut pos = 1 + 3 + 1; // type, body_len, ctx_len(0)
+        pos += 3; // list_len
+        let cert_len = ((good[pos] as usize) << 16)
+            | ((good[pos + 1] as usize) << 8)
+            | good[pos + 2] as usize;
+        let ext_at = pos + 3 + cert_len;
+        let mut bad = good.clone();
+        bad[ext_at] = 0xff;
+        bad[ext_at + 1] = 0xff;
+        assert_eq!(decode_tls13(&bad), Err(TlsMsgError::Truncated));
+
+        // And a max-u24 list length over a truncated tail.
+        body = vec![0u8]; // empty context
+        body.extend_from_slice(&[0xff, 0xff, 0xff]); // list_len = 0xffffff
+        msg = vec![HANDSHAKE_TYPE_CERTIFICATE];
+        push_u24(&mut msg, body.len()).unwrap();
+        msg.extend_from_slice(&body);
+        assert_eq!(decode_tls13(&msg), Err(TlsMsgError::Truncated));
     }
 
     #[test]

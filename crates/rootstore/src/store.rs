@@ -1,7 +1,7 @@
 //! Indexed trust stores.
 
-use ccc_x509::{Certificate, CertificateFingerprint, DistinguishedName};
-use std::collections::{HashMap, HashSet};
+use ccc_x509::{Certificate, DistinguishedName, FingerprintSet};
+use std::collections::HashMap;
 
 /// An indexed set of trusted root certificates.
 ///
@@ -12,7 +12,7 @@ use std::collections::{HashMap, HashSet};
 pub struct RootStore {
     name: String,
     roots: Vec<Certificate>,
-    by_fingerprint: HashSet<CertificateFingerprint>,
+    by_fingerprint: FingerprintSet,
     by_skid: HashMap<Vec<u8>, Vec<usize>>,
     by_subject: HashMap<Vec<u8>, Vec<usize>>,
 }
@@ -69,6 +69,15 @@ impl RootStore {
     /// Exact membership test.
     pub fn contains(&self, cert: &Certificate) -> bool {
         self.by_fingerprint.contains(&cert.fingerprint())
+    }
+
+    /// True when at least one root's SKID equals `key_id`.
+    ///
+    /// Allocation-free membership variant of [`RootStore::find_by_skid`]
+    /// for hot paths that only need the yes/no answer; index entries are
+    /// never empty, so key presence is the whole test.
+    pub fn has_skid(&self, key_id: &[u8]) -> bool {
+        self.by_skid.contains_key(key_id)
     }
 
     /// Roots whose SKID equals `key_id`.

@@ -1,0 +1,100 @@
+//! Hashing tuned for SHA-256 certificate fingerprints.
+//!
+//! Fingerprints are already uniformly distributed (they are SHA-256
+//! digests), so running them through SipHash — the `HashMap` default,
+//! designed to defend untrusted keys against collision attacks — wastes
+//! cycles on every chain-construction set/map lookup. This module
+//! provides a trivial mixing hasher that folds the input eight bytes at
+//! a time with a rotate-xor-multiply (the multiply breaks GF(2)
+//! linearity, so structured inputs — repeated bytes, swapped tuple
+//! members — don't collide the way a pure rotate-xor fold lets them).
+//! It is **not** collision-resistant for adversarial input and must
+//! only be keyed by fingerprint-derived types.
+//!
+//! Note on `Hash` for `[u8; 32]`: the standard implementation routes
+//! through the slice impl, which writes a `usize` length prefix before
+//! the 32 digest bytes; tuple keys such as the issuance cache's
+//! `(fp, fp)` arrive as consecutive `write` calls. The fold below is
+//! deterministic for any such sequence — the prefix costs one extra
+//! 8-byte fold, nothing more.
+
+use crate::cert::CertificateFingerprint;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Rotate-xor-multiply folding hasher for fingerprint-derived keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FingerprintHasher(u64);
+
+/// Odd multiplier (π in fixed point) — the non-linear step of the fold.
+const FOLD_MUL: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for FingerprintHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let word = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+            self.0 = (self.0.rotate_left(29) ^ word).wrapping_mul(FOLD_MUL);
+        }
+        for &b in chunks.remainder() {
+            self.0 = (self.0.rotate_left(11) ^ u64::from(b)).wrapping_mul(FOLD_MUL);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for fingerprint-keyed collections.
+pub type FingerprintBuildHasher = BuildHasherDefault<FingerprintHasher>;
+
+/// `HashSet<CertificateFingerprint>` with the fast fingerprint hasher.
+pub type FingerprintSet = HashSet<CertificateFingerprint, FingerprintBuildHasher>;
+
+/// `HashMap<CertificateFingerprint, V>` with the fast fingerprint hasher.
+pub type FingerprintMap<V> = HashMap<CertificateFingerprint, V, FingerprintBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FingerprintBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn distinct_fingerprints_hash_differently() {
+        let a = CertificateFingerprint([0x11; 32]);
+        let mut b_bytes = [0x11; 32];
+        b_bytes[31] = 0x12;
+        let b = CertificateFingerprint(b_bytes);
+        assert_ne!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn pair_keys_are_order_sensitive() {
+        let a = CertificateFingerprint([0xaa; 32]);
+        let b = CertificateFingerprint([0xbb; 32]);
+        assert_ne!(hash_of(&(a, b)), hash_of(&(b, a)));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut set = FingerprintSet::default();
+        let mut map = FingerprintMap::default();
+        for i in 0..64u8 {
+            let fp = CertificateFingerprint([i; 32]);
+            assert!(set.insert(fp));
+            map.insert(fp, usize::from(i));
+        }
+        for i in 0..64u8 {
+            let fp = CertificateFingerprint([i; 32]);
+            assert!(set.contains(&fp));
+            assert_eq!(map.get(&fp), Some(&usize::from(i)));
+        }
+    }
+}

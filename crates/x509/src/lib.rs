@@ -17,11 +17,13 @@ pub mod builder;
 pub mod cert;
 pub mod error;
 pub mod extensions;
+pub mod fphash;
 pub mod name;
 pub mod pem;
 pub mod spki;
 
 pub use builder::{key_identifier, CertificateBuilder, KidMode};
+pub use fphash::{FingerprintBuildHasher, FingerprintMap, FingerprintSet};
 pub use cert::{Certificate, CertificateFingerprint, TbsCertificate, Validity};
 pub use error::X509Error;
 pub use extensions::{

@@ -273,18 +273,29 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("usage: chain-chaos matrix <chain.pem> --store roots.pem [--domain D]")?;
+    // Phase accounting mirrors the corpus pipeline: parsing the served
+    // chain is the "generation" phase (done once), the eight client
+    // engines are the passes consuming that single observation.
+    let gen_start = std::time::Instant::now();
     let served = load_chain(path)?;
     let store = load_store(args)?;
+    let generation = gen_start.elapsed();
     let now = parse_time(args)?;
     let mut table = TextTable::new("Client verdicts", &["Client", "Verdict", "Constructed path"]);
     // One shared signature cache across all eight client profiles: each
     // (issuer, subject) pair is verified once, later clients hit the cache.
     let checker = IssuanceChecker::new();
+    let analysis_start = std::time::Instant::now();
     for kind in ClientKind::ALL {
         let (verdict, built) = run_engine(kind, &served, &store, now, args.opt("domain"), &checker);
         table.row(&[kind.name().to_string(), verdict, built]);
     }
+    let analysis = analysis_start.elapsed();
     println!("{}", table.render());
+    println!(
+        "{}",
+        chain_chaos::core::report::render_phase_split(generation, analysis, 1, ClientKind::ALL.len())
+    );
     let stats = checker.snapshot_stats();
     println!("{}", chain_chaos::core::report::render_cache_stats(&stats));
     Ok(())
@@ -311,14 +322,29 @@ fn cmd_lint(args: &Args) -> Result<ExitCode, String> {
         "usage: chain-chaos lint <chain.pem> [--domain D] [--store roots.pem] \
          [--format text|json|sarif] [--time YYYY-MM-DD] [--baseline f] [--write-baseline f]",
     )?;
+    let gen_start = std::time::Instant::now();
     let served = load_chain(path)?;
     let store = load_store(args)?;
+    let generation = gen_start.elapsed();
     let now = parse_time(args)?;
     let checker = IssuanceChecker::new();
     let aia = AiaRepository::empty();
     let engine = LintEngine::new(&checker, &store, Some(&aia), now);
     let domain = lint_domain(args, &served).to_string();
+    let analysis_start = std::time::Instant::now();
     let findings = engine.lint_chain(&domain, &served);
+    let analysis = analysis_start.elapsed();
+    // Load-vs-lint wall split on stderr: stdout carries only findings so
+    // json/sarif output stays machine-parseable.
+    eprintln!(
+        "{}",
+        chain_chaos::core::report::render_phase_split(
+            generation,
+            analysis,
+            1,
+            chain_chaos::lint::registry().len(),
+        )
+    );
 
     if let Some(out) = args.opt("write-baseline") {
         let baseline = Baseline::from_findings(findings.iter());
