@@ -1,0 +1,124 @@
+//! I-4 availability under deterministic network-fault injection: every
+//! observation swept through every (fault scenario × client profile)
+//! pair on the fused pipeline.
+//!
+//! ```text
+//! cargo run --release --bin table_chaos [domains] [--fault-seed n] [--rates a,b,c]
+//! ```
+//!
+//! stdout carries only the chaos table and summary lines — byte-identical
+//! for any `CCC_THREADS` worker count, because every fetch outcome is a
+//! pure function of (fault seed, URI, attempt) and latency accrues on
+//! per-build simulated clocks. Timings go to stderr.
+
+use ccc_bench::{scan_corpus, FaultPass, FaultScenario, Pipeline};
+use ccc_core::IssuanceChecker;
+use ccc_netsim::FaultPlan;
+use std::process::ExitCode;
+
+/// Default corpus size for the chaos table (each domain costs scenarios ×
+/// eight client builds, so the default stays small).
+const DEFAULT_DOMAINS: usize = 1_000;
+
+struct Args {
+    domains: usize,
+    fault_seed: Option<u64>,
+    rates: Vec<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        domains: std::env::var("CCC_DOMAINS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_DOMAINS),
+        fault_seed: None,
+        rates: vec![0.0, 0.1, 0.3],
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fault-seed" => {
+                let v = it.next().ok_or("--fault-seed needs a value")?;
+                args.fault_seed =
+                    Some(v.parse().map_err(|_| format!("bad fault seed '{v}'"))?);
+            }
+            "--rates" => {
+                let v = it.next().ok_or("--rates needs a comma-separated list")?;
+                args.rates = v
+                    .split(',')
+                    .map(|r| r.trim().parse::<f64>().map_err(|_| format!("bad rate '{r}'")))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                if args.rates.is_empty() {
+                    return Err("--rates needs at least one rate".to_string());
+                }
+            }
+            other => match other.parse::<usize>() {
+                Ok(n) => args.domains = n,
+                Err(_) => return Err(format!("unrecognized argument '{other}'")),
+            },
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("table_chaos: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "chaos-sweeping {} synthetic domains across {} fault scenario(s)…",
+        args.domains,
+        args.rates.len()
+    );
+    let corpus = scan_corpus(args.domains);
+    let scenarios: Vec<FaultScenario> = args
+        .rates
+        .iter()
+        .map(|&rate| match args.fault_seed {
+            // Explicit fault seed: decouple the fault draw from the
+            // corpus seed (sweeping plans over one fixed corpus).
+            Some(seed) => {
+                let mut sc = FaultScenario::for_corpus(&corpus, rate);
+                sc.plan = if rate <= 0.0 {
+                    FaultPlan::zero(seed)
+                } else {
+                    FaultPlan::with_fault_rate(seed, rate)
+                };
+                sc
+            }
+            None => FaultScenario::for_corpus(&corpus, rate),
+        })
+        .collect();
+
+    let checker = IssuanceChecker::new();
+    let (pass, stats) = Pipeline::from_env().run(&corpus, &checker, FaultPass::new(scenarios));
+    let summary = pass.into_summary();
+
+    println!("{}", summary.render_table());
+    for scenario in &summary.scenarios {
+        let recovered: usize = scenario.per_client.values().map(|c| c.recovered).sum();
+        let retries: usize = scenario.per_client.values().map(|c| c.aia_retries).sum();
+        let exhausted: usize = scenario
+            .per_client
+            .values()
+            .map(|c| c.budget_exhausted)
+            .sum();
+        println!(
+            "{}: {} retr{}, {} chain(s) recovered by retrying clients, {} budget exhaustion(s)",
+            scenario.label,
+            retries,
+            if retries == 1 { "y" } else { "ies" },
+            recovered,
+            exhausted
+        );
+    }
+    // Timings to stderr: stdout stays deterministic for output diffing.
+    eprintln!("{}", stats.render());
+    ExitCode::SUCCESS
+}

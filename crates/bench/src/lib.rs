@@ -34,7 +34,8 @@ use std::collections::BTreeMap;
 pub mod pipeline;
 
 pub use pipeline::{
-    AnalysisPass, CompliancePass, DifferentialPass, LintPass, ObservationMemo, PassContext,
+    AnalysisPass, ChaosClientCell, ChaosScenarioSummary, ChaosSummary, CompliancePass,
+    DifferentialPass, FaultPass, FaultScenario, LintPass, ObservationMemo, PassContext,
     Pipeline, PipelineStats,
 };
 

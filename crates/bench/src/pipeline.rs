@@ -31,18 +31,24 @@
 //! with no further plumbing.
 
 use crate::{threads_from_env, CorpusSummary, DifferentialSummary};
+use ccc_core::clients::{client_profiles, ClientKind};
 use ccc_core::completeness::RootResolution;
-use ccc_core::report::{render_cache_stats, render_phase_split};
+use ccc_core::leaf::cert_covers_domain;
+use ccc_core::report::{count_pct, render_cache_stats, render_phase_split, TextTable};
 use ccc_core::topology::CacheStats;
 use ccc_core::{
-    analyze_compliance_with_graph, Completeness, ComplianceReport, CompletenessAnalyzer,
-    DifferentialHarness, IncompleteReason, IssuanceChecker, NonCompliance, TopologyGraph,
+    analyze_compliance_with_graph, BuildContext, BuildOutcome, ChainEngine, Completeness,
+    ComplianceReport, CompletenessAnalyzer, DifferentialHarness, IncompleteReason,
+    IssuanceChecker, NonCompliance, TopologyGraph,
 };
 use ccc_lint::{LintEngine, LintSummary};
-use ccc_rootstore::RootProgram;
+use ccc_netsim::{FaultPlan, FaultyTransport};
+use ccc_rootstore::{RootProgram, RootStore};
 use ccc_testgen::corpus::scan_time;
 use ccc_testgen::{Corpus, DomainObservation, ObservationStore};
+use ccc_x509::Certificate;
 use std::cell::OnceCell;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Corpora below this many domains always run on one worker (matches the
@@ -694,6 +700,288 @@ impl<'c> AnalysisPass<'c> for LintPass<'c> {
         let findings = engine.lint_prepared(&obs.domain, &obs.served, graph, report);
         self.summary.total += 1;
         self.summary.absorb_chain(&obs.domain, report, findings);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.summary.merge(other.summary);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection (chaos) pass: I-4 availability as fault rate × retry
+// policy across the eight client profiles.
+// ---------------------------------------------------------------------
+
+/// One fault-injection scenario in a chaos sweep: a display label, the
+/// overall fault rate, and the concrete seeded [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultScenario {
+    /// Row label in the chaos table.
+    pub label: String,
+    /// Overall AIA fault rate the plan was built with.
+    pub fault_rate: f64,
+    /// The seeded plan (fetch outcomes are a pure function of the plan
+    /// seed, the URI, and the attempt number — never of thread timing).
+    pub plan: FaultPlan,
+}
+
+impl FaultScenario {
+    /// A scenario over the corpus's own seed at an explicit rate.
+    pub fn for_corpus(corpus: &Corpus, fault_rate: f64) -> FaultScenario {
+        FaultScenario {
+            label: if fault_rate <= 0.0 {
+                "baseline".to_string()
+            } else {
+                format!("fault {:.0}%", fault_rate * 100.0)
+            },
+            fault_rate,
+            plan: corpus.fault_plan_with_rate(fault_rate),
+        }
+    }
+
+    /// The standard chaos sweep: zero-fault baseline, moderate, and heavy
+    /// fault rates over one corpus seed.
+    pub fn standard_sweep(corpus: &Corpus) -> Vec<FaultScenario> {
+        [0.0, 0.1, 0.3]
+            .iter()
+            .map(|&rate| FaultScenario::for_corpus(corpus, rate))
+            .collect()
+    }
+}
+
+/// Per-(scenario, client) chaos counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosClientCell {
+    /// Chains this client accepted (including the hostname check, like
+    /// the differential availability numbers).
+    pub passes: usize,
+    /// Accepted chains whose build needed at least one AIA retry — chains
+    /// a non-retrying profile would have lost to the same fault plan.
+    pub recovered: usize,
+    /// Sum of [`ccc_core::BuildStats::aia_attempts`].
+    pub aia_attempts: usize,
+    /// Sum of [`ccc_core::BuildStats::aia_fetches`].
+    pub aia_fetches: usize,
+    /// Sum of [`ccc_core::BuildStats::aia_retries`].
+    pub aia_retries: usize,
+    /// Builds whose retry budget ran out.
+    pub budget_exhausted: usize,
+    /// Total simulated milliseconds spent on AIA latency + backoff.
+    pub sim_latency_ms: u64,
+}
+
+impl ChaosClientCell {
+    fn absorb(&mut self, outcome: &BuildOutcome, covers_domain: bool) {
+        let pass = outcome.accepted() && covers_domain;
+        if pass {
+            self.passes += 1;
+            if outcome.stats.aia_retries > 0 {
+                self.recovered += 1;
+            }
+        }
+        self.aia_attempts += outcome.stats.aia_attempts;
+        self.aia_fetches += outcome.stats.aia_fetches;
+        self.aia_retries += outcome.stats.aia_retries;
+        if outcome.stats.aia_budget_exhausted {
+            self.budget_exhausted += 1;
+        }
+        self.sim_latency_ms += outcome.stats.sim_latency_ms;
+    }
+
+    fn merge(&mut self, other: ChaosClientCell) {
+        self.passes += other.passes;
+        self.recovered += other.recovered;
+        self.aia_attempts += other.aia_attempts;
+        self.aia_fetches += other.aia_fetches;
+        self.aia_retries += other.aia_retries;
+        self.budget_exhausted += other.budget_exhausted;
+        self.sim_latency_ms += other.sim_latency_ms;
+    }
+}
+
+/// Chaos counters for one scenario across all eight clients.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosScenarioSummary {
+    /// Scenario label.
+    pub label: String,
+    /// The scenario's overall fault rate.
+    pub fault_rate: f64,
+    /// Per-client counters (Table 9 client order via `ClientKind::ALL`).
+    pub per_client: BTreeMap<ClientKind, ChaosClientCell>,
+}
+
+/// The chaos sweep result: per-scenario, per-client availability under
+/// deterministic fault injection.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChaosSummary {
+    /// Observations swept (identical for every scenario).
+    pub total: usize,
+    /// One entry per [`FaultScenario`], in scenario order.
+    pub scenarios: Vec<ChaosScenarioSummary>,
+}
+
+impl ChaosSummary {
+    fn empty_for(scenarios: &[FaultScenario]) -> ChaosSummary {
+        ChaosSummary {
+            total: 0,
+            scenarios: scenarios
+                .iter()
+                .map(|sc| ChaosScenarioSummary {
+                    label: sc.label.clone(),
+                    fault_rate: sc.fault_rate,
+                    per_client: ClientKind::ALL
+                        .iter()
+                        .map(|&k| (k, ChaosClientCell::default()))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Fold another (worker) summary into this one.
+    pub fn merge(&mut self, other: ChaosSummary) {
+        if self.scenarios.is_empty() {
+            *self = other;
+            return;
+        }
+        assert_eq!(self.scenarios.len(), other.scenarios.len());
+        self.total += other.total;
+        for (mine, theirs) in self.scenarios.iter_mut().zip(other.scenarios) {
+            for (kind, cell) in theirs.per_client {
+                mine.per_client.entry(kind).or_default().merge(cell);
+            }
+        }
+    }
+
+    /// Render the I-4 availability table (one row per scenario × client).
+    pub fn render_table(&self) -> String {
+        let mut table = TextTable::new(
+            format!(
+                "I-4 availability under deterministic fault injection ({} chains)",
+                self.total
+            ),
+            &[
+                "scenario", "client", "pass", "recovered", "attempts", "fetches",
+                "retries", "budget out", "sim ms",
+            ],
+        );
+        for scenario in &self.scenarios {
+            for kind in ClientKind::ALL {
+                let cell = scenario.per_client.get(&kind).copied().unwrap_or_default();
+                table.row(&[
+                    format!("{} (r={:.2})", scenario.label, scenario.fault_rate),
+                    kind.name().to_string(),
+                    count_pct(cell.passes, self.total),
+                    cell.recovered.to_string(),
+                    cell.aia_attempts.to_string(),
+                    cell.aia_fetches.to_string(),
+                    cell.aia_retries.to_string(),
+                    cell.budget_exhausted.to_string(),
+                    cell.sim_latency_ms.to_string(),
+                ]);
+            }
+        }
+        table.render()
+    }
+}
+
+/// Worker-local state for the fault pass: one [`FaultyTransport`] per
+/// scenario (all wrapping the corpus's AIA repository) plus the eight
+/// client engines.
+#[derive(Debug)]
+struct FaultState<'c> {
+    checker: &'c IssuanceChecker,
+    store: &'c RootStore,
+    cache: Vec<Certificate>,
+    transports: Vec<FaultyTransport<'c>>,
+    clients: Vec<(ClientKind, ChainEngine)>,
+}
+
+/// [`AnalysisPass`] sweeping every observation through every
+/// (fault scenario × client profile) pair.
+///
+/// Determinism: each fetch outcome is a pure function of the scenario's
+/// plan seed, the URI, and the attempt number, and retry backoff runs on
+/// the per-build simulated clock, so the accumulated [`ChaosSummary`] is
+/// bit-identical for any `CCC_THREADS` worker count (the cells are sums
+/// over per-observation values, merged in rank order).
+#[derive(Debug, Default)]
+pub struct FaultPass<'c> {
+    scenarios: Vec<FaultScenario>,
+    state: Option<FaultState<'c>>,
+    /// The accumulated chaos summary.
+    pub summary: ChaosSummary,
+}
+
+impl<'c> FaultPass<'c> {
+    /// A fresh root accumulator over the given scenarios.
+    pub fn new(scenarios: Vec<FaultScenario>) -> FaultPass<'c> {
+        let summary = ChaosSummary::empty_for(&scenarios);
+        FaultPass {
+            scenarios,
+            state: None,
+            summary,
+        }
+    }
+
+    /// Consume the pass, yielding the summary.
+    pub fn into_summary(self) -> ChaosSummary {
+        self.summary
+    }
+}
+
+impl<'c> AnalysisPass<'c> for FaultPass<'c> {
+    fn name(&self) -> &'static str {
+        "fault"
+    }
+
+    fn begin(&self, ctx: PassContext<'c>) -> Self {
+        let transports = self
+            .scenarios
+            .iter()
+            .map(|sc| FaultyTransport::new(&ctx.corpus.aia, sc.plan.clone()))
+            .collect();
+        FaultPass {
+            scenarios: self.scenarios.clone(),
+            state: Some(FaultState {
+                checker: ctx.checker,
+                store: ctx.corpus.programs.unified(),
+                cache: ctx.corpus.intermediate_cache(),
+                transports,
+                clients: client_profiles(),
+            }),
+            summary: ChaosSummary::empty_for(&self.scenarios),
+        }
+    }
+
+    fn visit(&mut self, obs: &DomainObservation, _memo: &ObservationMemo) {
+        let st = self
+            .state
+            .as_ref()
+            .expect("visit is only called on forked workers");
+        self.summary.total += 1;
+        let covers = obs
+            .served
+            .first()
+            .map(|leaf| cert_covers_domain(leaf, &obs.domain))
+            .unwrap_or(false);
+        for (scenario, transport) in self.summary.scenarios.iter_mut().zip(&st.transports) {
+            let ctx = BuildContext {
+                store: st.store,
+                aia: Some(transport),
+                cache: &st.cache,
+                now: scan_time(),
+                checker: st.checker,
+            };
+            for (kind, engine) in &st.clients {
+                let outcome = engine.process(&obs.served, &ctx);
+                scenario
+                    .per_client
+                    .get_mut(kind)
+                    .expect("prefilled for all clients")
+                    .absorb(&outcome, covers);
+            }
+        }
     }
 
     fn merge(&mut self, other: Self) {

@@ -22,7 +22,7 @@
 use crate::topology::{CacheStats, IssuanceChecker};
 use crate::validate::{validate_path, ValidationOptions};
 use ccc_asn1::Time;
-use ccc_netsim::AiaRepository;
+use ccc_netsim::{AiaTransport, FetchOutcome};
 use ccc_rootstore::RootStore;
 use ccc_x509::{
     Certificate, CertificateFingerprint, FingerprintBuildHasher, FingerprintMap, FingerprintSet,
@@ -64,6 +64,56 @@ pub enum SearchScope {
     ForwardOnly,
 }
 
+/// How a client reacts to transient AIA fetch failures.
+///
+/// All timing is on the *simulated* clock: backoff and latency accumulate
+/// into [`BuildStats::sim_latency_ms`], never into wall time, so retry
+/// behaviour is deterministic for a given transport and seed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Maximum fetch attempts per URI (≥ 1; 1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff charged to the simulated clock after a transient
+    /// failure; doubles per retry (`base << (attempt - 1)`).
+    pub backoff_base_ms: u64,
+    /// Total simulated-time budget for one build. Once the build's
+    /// simulated clock passes this, further AIA attempts are abandoned
+    /// and the build degrades gracefully to its incomplete-chain verdict.
+    pub budget_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries, effectively unlimited budget — the behaviour every
+    /// profile had before fault injection existed.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+            budget_ms: u64::MAX,
+        }
+    }
+
+    /// A bounded retry loop with exponential backoff.
+    pub fn retrying(max_attempts: u32, backoff_base_ms: u64, budget_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff_base_ms,
+            budget_ms,
+        }
+    }
+
+    /// Whether this policy ever retries.
+    pub fn retries(&self) -> bool {
+        self.max_attempts > 1
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
 /// A client chain-construction policy.
 #[derive(Clone, Debug)]
 pub struct BuilderPolicy {
@@ -103,6 +153,9 @@ pub struct BuilderPolicy {
     pub partial_validation: bool,
     /// Safety valve on total candidate expansions.
     pub max_candidate_expansions: usize,
+    /// Reaction to transient AIA fetch failures (only relevant when
+    /// `aia` is enabled and the transport injects faults).
+    pub retry: RetryPolicy,
 }
 
 impl BuilderPolicy {
@@ -125,6 +178,7 @@ impl BuilderPolicy {
             backtracking: true,
             partial_validation: false,
             max_candidate_expansions: 4096,
+            retry: RetryPolicy::retrying(3, 200, 30_000),
         }
     }
 }
@@ -204,8 +258,11 @@ impl fmt::Display for ClientError {
 pub struct BuildContext<'a> {
     /// The client's trust store.
     pub store: &'a RootStore,
-    /// AIA repository (used only when the policy enables AIA).
-    pub aia: Option<&'a AiaRepository>,
+    /// AIA fetch transport (used only when the policy enables AIA). A
+    /// plain [`ccc_netsim::AiaRepository`] is the zero-fault transport;
+    /// wrap it in a [`ccc_netsim::FaultyTransport`] to inject latency and
+    /// failures. `Some(&repo)` coerces here unchanged.
+    pub aia: Option<&'a dyn AiaTransport>,
     /// Intermediate cache contents (used only when the policy enables it).
     pub cache: &'a [Certificate],
     /// The simulated "now" for validity decisions.
@@ -219,8 +276,22 @@ pub struct BuildContext<'a> {
 pub struct BuildStats {
     /// Candidate issuers examined.
     pub candidates_considered: usize,
-    /// AIA fetches performed.
+    /// AIA fetches that *returned a certificate* (successes; a
+    /// wrong-certificate response counts — the payload arrived even if it
+    /// is useless as an issuer).
     pub aia_fetches: usize,
+    /// AIA fetch *attempts*, including dead-URI, transient, and corrupt
+    /// responses that returned nothing. Always ≥ `aia_fetches`.
+    pub aia_attempts: usize,
+    /// Transient-failure retries performed (attempts beyond the first,
+    /// per URI).
+    pub aia_retries: usize,
+    /// Simulated milliseconds spent on AIA fetch latency and retry
+    /// backoff during this build (the build's simulated clock).
+    pub sim_latency_ms: u64,
+    /// The retry budget ran out and at least one AIA completion was
+    /// abandoned (the build degraded to its incomplete-chain verdict).
+    pub aia_budget_exhausted: bool,
     /// Dead ends rolled back.
     pub backtracks: usize,
     /// Shared signature-cache activity during this build (counter delta
@@ -516,6 +587,7 @@ impl ChainEngine {
             deepest: vec![leaf.clone()],
             first_error: None,
             expansions: 0,
+            aia_memo: HashMap::new(),
         };
         let mut on_path = FingerprintSet::default();
         on_path.insert(leaf.fingerprint());
@@ -565,6 +637,11 @@ struct Search<'e, 'c, 's> {
     deepest: Vec<Certificate>,
     first_error: Option<ClientError>,
     expansions: usize,
+    /// Per-build AIA memo: URI → resolved candidate (or None for any
+    /// failure). Enforces the "once per URI per build" contract — frontier
+    /// revisits during backtracking must not re-fetch dead or
+    /// wrong-certificate URIs.
+    aia_memo: HashMap<String, Option<Candidate>>,
 }
 
 impl Search<'_, '_, '_> {
@@ -950,24 +1027,83 @@ impl Search<'_, '_, '_> {
 
     /// Fetch the current certificate's AIA issuer (once per URI per build;
     /// fetched certificates join the pool).
+    ///
+    /// The per-build [`Search::aia_memo`] holds the final resolution for
+    /// every URI this build has touched — including failures — so frontier
+    /// revisits during backtracking never re-fetch a dead or
+    /// wrong-certificate URI.
     fn try_aia(&mut self, current: &Certificate) -> Option<Candidate> {
-        let repo = self.ctx.aia?;
+        let transport = self.ctx.aia?;
         let uri = current.aia_ca_issuers_uri()?;
-        let fetched = repo.fetch(uri)?;
-        self.stats.aia_fetches += 1;
-        if !IssuanceChecker::identity_match(&fetched, current)
-            && !self.ctx.checker.signature_verifies(&fetched, current)
-        {
-            // Wrong certificate served: useless as an issuer.
-            return None;
+        if let Some(memoized) = self.aia_memo.get(uri) {
+            return memoized.clone();
         }
+        let resolved = self.fetch_with_retry(transport, uri, current);
+        self.aia_memo.insert(uri.to_string(), resolved.clone());
+        resolved
+    }
+
+    /// The bounded retry loop behind [`Self::try_aia`]: transient failures
+    /// back off exponentially on the simulated clock up to the policy's
+    /// attempt limit; dead/corrupt responses fail immediately; exceeding
+    /// the per-build budget abandons AIA completion gracefully.
+    fn fetch_with_retry(
+        &mut self,
+        transport: &dyn AiaTransport,
+        uri: &str,
+        current: &Certificate,
+    ) -> Option<Candidate> {
+        let retry = self.engine.policy.retry;
+        let mut attempt: u32 = 0;
+        loop {
+            if self.stats.sim_latency_ms >= retry.budget_ms {
+                self.stats.aia_budget_exhausted = true;
+                return None;
+            }
+            attempt += 1;
+            self.stats.aia_attempts += 1;
+            let response = transport.fetch_aia(uri, attempt);
+            self.stats.sim_latency_ms =
+                self.stats.sim_latency_ms.saturating_add(response.latency_ms);
+            match response.outcome {
+                FetchOutcome::Success(fetched) => {
+                    self.stats.aia_fetches += 1;
+                    if !IssuanceChecker::identity_match(&fetched, current)
+                        && !self.ctx.checker.signature_verifies(&fetched, current)
+                    {
+                        // Wrong certificate served: useless as an issuer.
+                        return None;
+                    }
+                    return Some(self.admit_aia_candidate(fetched));
+                }
+                // Permanent failures: retrying cannot help.
+                FetchOutcome::Dead | FetchOutcome::Corrupt => return None,
+                FetchOutcome::Transient => {
+                    if attempt >= retry.max_attempts {
+                        return None;
+                    }
+                    self.stats.aia_retries += 1;
+                    // Exponential backoff on the simulated clock (shift
+                    // capped so pathological attempt counts can't wrap).
+                    let backoff = retry
+                        .backoff_base_ms
+                        .saturating_mul(1u64 << (attempt - 1).min(16));
+                    self.stats.sim_latency_ms =
+                        self.stats.sim_latency_ms.saturating_add(backoff);
+                }
+            }
+        }
+    }
+
+    /// Add a successfully fetched issuer to the per-engine pool
+    /// (deduplicated) so later expansions can reuse the fetch.
+    fn admit_aia_candidate(&mut self, fetched: Certificate) -> Candidate {
         let candidate = Candidate {
             trusted: self.ctx.store.contains(&fetched),
             cert: fetched,
             origin: CandidateOrigin::Aia,
         };
-        // Join the pool (deduplicated) so later expansions can reuse the
-        // fetch; the seen set is materialized on first need.
+        // The seen set is materialized on first need.
         if self.seen.is_none() {
             let mut s = self.base_seen.clone();
             for cand in &self.extra {
@@ -979,7 +1115,7 @@ impl Search<'_, '_, '_> {
         if seen.insert(candidate.cert.fingerprint()) {
             self.extra.push(candidate.clone());
         }
-        Some(candidate)
+        candidate
     }
 }
 
@@ -1000,6 +1136,7 @@ struct CandidateKey {
 mod tests {
     use super::*;
     use ccc_crypto::{Group, KeyPair};
+    use ccc_netsim::{AiaFailure, AiaRepository, FetchResponse};
     use ccc_x509::{CertificateBuilder, DistinguishedName};
 
     struct Pki {
@@ -1183,5 +1320,241 @@ mod tests {
         without_cache.use_intermediate_cache = false;
         let outcome = ChainEngine::new(without_cache).process(&served, &base_ctx);
         assert_eq!(outcome.verdict, Err(ClientError::NoIssuerFound));
+    }
+
+    fn aia_ctx<'a>(
+        store: &'a RootStore,
+        repo: &'a AiaRepository,
+        checker: &'a IssuanceChecker,
+    ) -> BuildContext<'a> {
+        BuildContext {
+            store,
+            aia: Some(repo),
+            cache: &[],
+            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            checker,
+        }
+    }
+
+    /// Regression for the "once per URI per build" contract: two
+    /// cross-signed intermediates share the same issuer (absent from the
+    /// pool) whose AIA URI is dead, so a backtracking build revisits the
+    /// same frontier URI twice. Before memoization that meant two fetches.
+    #[test]
+    fn dead_aia_uri_fetched_once_per_build() {
+        let g = Group::simulation_256();
+        let ghost_kp = KeyPair::from_seed(g, b"memo-ghost");
+        let int_kp = KeyPair::from_seed(g, b"memo-int");
+        let leaf_kp = KeyPair::from_seed(g, b"memo-leaf");
+        let ghost_dn = DistinguishedName::cn("Memo Ghost CA");
+        let int_dn = DistinguishedName::cn("Memo Shared Int");
+        let uri = "http://aia.sim/memo-ghost.crt";
+        let int_a = CertificateBuilder::ca_profile(int_dn.clone())
+            .aia_ca_issuers(uri)
+            .issued_by(&int_kp.public, ghost_dn.clone(), &ghost_kp);
+        let int_b = CertificateBuilder::ca_profile(int_dn.clone())
+            .validity(
+                Time::from_ymd(2023, 1, 1).unwrap(),
+                Time::from_ymd(2026, 1, 1).unwrap(),
+            )
+            .aia_ca_issuers(uri)
+            .issued_by(&int_kp.public, ghost_dn, &ghost_kp);
+        assert_ne!(int_a, int_b, "cross-signs must be distinct certificates");
+        let leaf = CertificateBuilder::leaf_profile("memo.sim").issued_by(
+            &leaf_kp.public,
+            int_dn,
+            &int_kp,
+        );
+
+        let store = RootStore::new("empty", vec![]);
+        let mut repo = AiaRepository::empty();
+        repo.inject_failure(uri, AiaFailure::DeadUri);
+        let checker = IssuanceChecker::new();
+        let engine = ChainEngine::new(BuilderPolicy::full_capability("memo"));
+        let served = vec![leaf, int_a, int_b];
+        let outcome = engine.process(&served, &aia_ctx(&store, &repo, &checker));
+
+        assert!(!outcome.accepted());
+        assert!(outcome.stats.backtracks > 0, "both cross-signs must be tried");
+        assert_eq!(
+            repo.fetches(),
+            1,
+            "a dead URI must be fetched once per build, not once per frontier visit"
+        );
+        assert_eq!(outcome.stats.aia_attempts, 1);
+        assert_eq!(outcome.stats.aia_fetches, 0);
+    }
+
+    /// Attempts vs successes: a dead URI is an attempt with no fetch; a
+    /// published URI is both. Both reconcile with the repository's own
+    /// transfer counter.
+    #[test]
+    fn aia_attempts_and_fetches_reconcile() {
+        let p = pki();
+        let g = Group::simulation_256();
+        let leaf_kp = KeyPair::from_seed(g, b"acct-leaf");
+        let uri = "http://aia.sim/engine-int.crt";
+        let leaf = CertificateBuilder::leaf_profile("acct.sim")
+            .aia_ca_issuers(uri)
+            .issued_by(&leaf_kp.public, DistinguishedName::cn("Engine Int"), &pki_int_kp());
+        let engine = ChainEngine::new(BuilderPolicy::full_capability("acct"));
+
+        // Dead URI: one attempt, zero successful fetches — but the
+        // repository still saw the transfer attempt.
+        let mut dead = AiaRepository::empty();
+        dead.inject_failure(uri, AiaFailure::DeadUri);
+        let checker = IssuanceChecker::new();
+        let outcome = engine.process(
+            std::slice::from_ref(&leaf),
+            &aia_ctx(&p.store, &dead, &checker),
+        );
+        assert_eq!(outcome.verdict, Err(ClientError::NoIssuerFound));
+        assert_eq!(outcome.stats.aia_attempts, 1);
+        assert_eq!(outcome.stats.aia_fetches, 0);
+        assert_eq!(dead.fetches(), 1, "dead attempts must be visible");
+
+        // Published URI: one attempt, one successful fetch, chain accepted.
+        let mut live = AiaRepository::empty();
+        live.publish(uri, p.int.clone());
+        let checker = IssuanceChecker::new();
+        let outcome = engine.process(&[leaf], &aia_ctx(&p.store, &live, &checker));
+        assert!(outcome.accepted(), "{:?}", outcome.verdict);
+        assert_eq!(outcome.stats.aia_attempts, 1);
+        assert_eq!(outcome.stats.aia_fetches, 1);
+        assert_eq!(live.fetches(), 1);
+    }
+
+    /// A deterministic test transport: transient for the first
+    /// `fail_first` attempts, then serves the certificate.
+    #[derive(Debug)]
+    struct FlakyTransport {
+        cert: Certificate,
+        fail_first: u32,
+        latency_ms: u64,
+    }
+
+    impl AiaTransport for FlakyTransport {
+        fn fetch_aia(&self, _uri: &str, attempt: u32) -> FetchResponse {
+            if attempt <= self.fail_first {
+                FetchResponse {
+                    outcome: FetchOutcome::Transient,
+                    latency_ms: self.latency_ms,
+                }
+            } else {
+                FetchResponse {
+                    outcome: FetchOutcome::Success(self.cert.clone()),
+                    latency_ms: self.latency_ms,
+                }
+            }
+        }
+    }
+
+    fn pki_int_kp() -> KeyPair {
+        KeyPair::from_seed(Group::simulation_256(), b"eng-int")
+    }
+
+    /// A leaf issued by the [`pki`] intermediate, carrying an AIA URI.
+    fn aia_leaf(domain: &str, uri: &str) -> Certificate {
+        let leaf_kp = KeyPair::from_seed(Group::simulation_256(), b"retry-leaf");
+        CertificateBuilder::leaf_profile(domain)
+            .aia_ca_issuers(uri)
+            .issued_by(&leaf_kp.public, DistinguishedName::cn("Engine Int"), &pki_int_kp())
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_uris() {
+        let p = pki();
+        let uri = "http://aia.sim/flaky-int.crt";
+        let leaf = aia_leaf("retry.sim", uri);
+        let transport = FlakyTransport {
+            cert: p.int.clone(),
+            fail_first: 2,
+            latency_ms: 40,
+        };
+        let served = [leaf];
+
+        // max_attempts 3 rides out two transient failures.
+        let mut policy = BuilderPolicy::full_capability("retry3");
+        policy.retry = RetryPolicy::retrying(3, 200, 30_000);
+        let checker = IssuanceChecker::new();
+        let ctx = BuildContext {
+            store: &p.store,
+            aia: Some(&transport),
+            cache: &[],
+            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            checker: &checker,
+        };
+        let outcome = ChainEngine::new(policy).process(&served, &ctx);
+        assert!(outcome.accepted(), "{:?}", outcome.verdict);
+        assert_eq!(outcome.stats.aia_attempts, 3);
+        assert_eq!(outcome.stats.aia_retries, 2);
+        assert_eq!(outcome.stats.aia_fetches, 1);
+        // 3 × 40ms latency + backoff 200 + 400 on the simulated clock.
+        assert_eq!(outcome.stats.sim_latency_ms, 3 * 40 + 200 + 400);
+        assert!(!outcome.stats.aia_budget_exhausted);
+
+        // A non-retrying profile loses the same chain.
+        let mut policy = BuilderPolicy::full_capability("retry1");
+        policy.retry = RetryPolicy::none();
+        let checker = IssuanceChecker::new();
+        let ctx = BuildContext {
+            store: &p.store,
+            aia: Some(&transport),
+            cache: &[],
+            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            checker: &checker,
+        };
+        let outcome = ChainEngine::new(policy).process(&served, &ctx);
+        assert_eq!(outcome.verdict, Err(ClientError::NoIssuerFound));
+        assert_eq!(outcome.stats.aia_attempts, 1);
+        assert_eq!(outcome.stats.aia_retries, 0);
+        assert_eq!(outcome.stats.aia_fetches, 0);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_incomplete_chain() {
+        let p = pki();
+        let uri = "http://aia.sim/slow-int.crt";
+        let leaf = aia_leaf("budget.sim", uri);
+        // Always transient within the allowed attempts, and so slow that
+        // the first attempt plus its backoff blows the 500ms budget.
+        let transport = FlakyTransport {
+            cert: p.int.clone(),
+            fail_first: 10,
+            latency_ms: 300,
+        };
+        let mut policy = BuilderPolicy::full_capability("budget");
+        policy.retry = RetryPolicy::retrying(5, 1_000, 500);
+        let checker = IssuanceChecker::new();
+        let ctx = BuildContext {
+            store: &p.store,
+            aia: Some(&transport),
+            cache: &[],
+            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            checker: &checker,
+        };
+        let outcome = ChainEngine::new(policy).process(&[leaf], &ctx);
+        assert_eq!(outcome.verdict, Err(ClientError::NoIssuerFound));
+        assert!(outcome.stats.aia_budget_exhausted);
+        assert_eq!(outcome.stats.aia_attempts, 1, "budget gate must stop attempt 2");
+        assert!(outcome.stats.sim_latency_ms >= 500);
+    }
+
+    #[test]
+    fn zero_fault_transport_changes_nothing() {
+        // A plain repository behind the trait returns Success/Dead with
+        // zero latency, so retrying policies never engage their loop.
+        let p = pki();
+        let uri = "http://aia.sim/plain-int.crt";
+        let leaf = aia_leaf("plain.sim", uri);
+        let mut repo = AiaRepository::empty();
+        repo.publish(uri, p.int.clone());
+        let checker = IssuanceChecker::new();
+        let engine = ChainEngine::new(BuilderPolicy::full_capability("plain"));
+        let outcome = engine.process(&[leaf], &aia_ctx(&p.store, &repo, &checker));
+        assert!(outcome.accepted(), "{:?}", outcome.verdict);
+        assert_eq!(outcome.stats.aia_retries, 0);
+        assert_eq!(outcome.stats.sim_latency_ms, 0);
+        assert!(!outcome.stats.aia_budget_exhausted);
     }
 }

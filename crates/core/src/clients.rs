@@ -6,7 +6,7 @@
 //! Chrome, Safari) are modeled as unlimited.
 
 use crate::builder::{
-    BuilderPolicy, ChainEngine, KidPriority, SearchScope, ValidityPriority,
+    BuilderPolicy, ChainEngine, KidPriority, RetryPolicy, SearchScope, ValidityPriority,
 };
 
 /// The clients the paper evaluates: four TLS libraries, four browsers.
@@ -99,6 +99,7 @@ impl ClientKind {
             backtracking: false,
             partial_validation: false,
             max_candidate_expansions: 4096,
+            retry: RetryPolicy::none(),
         };
         match self {
             ClientKind::OpenSsl => BuilderPolicy {
@@ -133,6 +134,10 @@ impl ClientKind {
                 trusted_first: true,
                 max_path_len: Some(13),
                 backtracking: true,
+                // One AIA try per URI, no backoff — the schannel fetcher
+                // defers retries to its offline URL cache, which a single
+                // handshake never revisits.
+                retry: RetryPolicy::none(),
                 ..base
             },
             ClientKind::Chrome => BuilderPolicy {
@@ -143,6 +148,7 @@ impl ClientKind {
                 basic_constraints_priority: true,
                 trusted_first: true,
                 backtracking: true,
+                retry: RetryPolicy::retrying(3, 200, 30_000),
                 ..base
             },
             ClientKind::Edge => BuilderPolicy {
@@ -154,6 +160,7 @@ impl ClientKind {
                 trusted_first: true,
                 max_path_len: Some(21),
                 backtracking: true,
+                retry: RetryPolicy::retrying(3, 200, 30_000),
                 ..base
             },
             ClientKind::Safari => BuilderPolicy {
@@ -165,6 +172,7 @@ impl ClientKind {
                 trusted_first: true,
                 allow_self_signed_leaf: true,
                 backtracking: true,
+                retry: RetryPolicy::retrying(2, 500, 15_000),
                 ..base
             },
             ClientKind::Firefox => BuilderPolicy {
@@ -251,6 +259,21 @@ mod tests {
             .map(|k| k.policy().backtracking)
             .collect();
         assert_eq!(bt, vec![false, false, false, true, true, true, true, true]);
+
+        // AIA retries: Chrome/Edge/Safari only; no-AIA profiles and
+        // CryptoAPI are single-shot.
+        let retries: Vec<bool> = ClientKind::ALL
+            .iter()
+            .map(|k| k.policy().retry.retries())
+            .collect();
+        assert_eq!(
+            retries,
+            vec![false, false, false, false, true, true, true, false]
+        );
+        assert_eq!(ClientKind::Chrome.policy().retry, RetryPolicy::retrying(3, 200, 30_000));
+        assert_eq!(ClientKind::Edge.policy().retry, RetryPolicy::retrying(3, 200, 30_000));
+        assert_eq!(ClientKind::Safari.policy().retry, RetryPolicy::retrying(2, 500, 15_000));
+        assert_eq!(ClientKind::CryptoApi.policy().retry, RetryPolicy::none());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::builder::{
 use crate::clients::{client_profiles, ClientKind};
 use crate::topology::IssuanceChecker;
 use ccc_asn1::Time;
-use ccc_netsim::AiaRepository;
+use ccc_netsim::AiaTransport;
 use ccc_rootstore::RootStore;
 use ccc_x509::Certificate;
 use std::collections::BTreeMap;
@@ -163,7 +163,10 @@ impl DifferentialReport {
 pub struct DifferentialHarness<'a> {
     clients: Vec<(ClientKind, crate::builder::ChainEngine)>,
     store: &'a RootStore,
-    aia: Option<&'a AiaRepository>,
+    /// AIA transport: a plain [`ccc_netsim::AiaRepository`] for the
+    /// zero-fault path, or a [`ccc_netsim::FaultyTransport`] to inject
+    /// latency and failures into every AIA-capable client.
+    aia: Option<&'a dyn AiaTransport>,
     /// Firefox-style intermediate cache contents.
     cache: Vec<Certificate>,
     /// `cache` pre-resolved against `store` (built once; the cache and the
@@ -177,7 +180,7 @@ impl<'a> DifferentialHarness<'a> {
     /// Build a harness over the standard eight clients.
     pub fn new(
         store: &'a RootStore,
-        aia: Option<&'a AiaRepository>,
+        aia: Option<&'a dyn AiaTransport>,
         cache: Vec<Certificate>,
         now: Time,
         checker: &'a IssuanceChecker,
@@ -347,6 +350,8 @@ fn attribute_causes(outcomes: &[(ClientKind, BuildOutcome)]) -> Vec<DiscrepancyC
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::completeness::{CompletenessAnalyzer, IncompleteReason};
+    use ccc_netsim::{AiaFailure, AiaRepository};
     use ccc_rootstore::{CaUniverse, RootPrograms};
     use ccc_x509::CertificateBuilder;
 
@@ -514,6 +519,65 @@ mod tests {
             .find(|(k, _)| *k == ClientKind::Firefox)
             .unwrap();
         assert!(firefox.1.accepted());
+    }
+
+    /// Satellite e2e: a `WrongCertificate` URI yields exactly one fetch
+    /// per AIA client, no usable candidate, and the paper's
+    /// wrong-certificate incomplete-chain classification.
+    #[test]
+    fn wrong_certificate_aia_uri_end_to_end() {
+        let mut e = env();
+        let intermediate = e.universe.roots[1].intermediates[0].clone();
+        // The URI serves an unrelated trusted root instead of the issuer —
+        // the CAcert-style misconfiguration the paper measured.
+        let unrelated = e.universe.roots[0].cert.clone();
+        e.aia.inject_failure(
+            intermediate.aia_uri.clone(),
+            AiaFailure::WrongCertificate(unrelated),
+        );
+        let served = vec![leaf(&e, 1, 0, "wrongcert.sim")];
+
+        let harness = DifferentialHarness::new(
+            e.programs.unified(),
+            Some(&e.aia),
+            vec![],
+            now(),
+            &e.checker,
+        );
+        e.aia.reset_fetches();
+        let result = harness.run(&served);
+
+        // The wrong payload is useless as an issuer: every client fails.
+        for (kind, outcome) in &result.outcomes {
+            assert!(
+                !outcome.accepted(),
+                "{} must not accept a chain completed by a wrong certificate",
+                kind.name()
+            );
+        }
+        // Exactly one fetch per AIA-capable client (CryptoAPI, Chrome,
+        // Edge, Safari) — the wrong certificate is a *successful* transfer
+        // (aia_fetches == aia_attempts == 1), never retried as transient.
+        assert_eq!(e.aia.fetches(), 4);
+        for (kind, outcome) in &result.outcomes {
+            let expects_fetch = matches!(
+                kind,
+                ClientKind::CryptoApi | ClientKind::Chrome | ClientKind::Edge | ClientKind::Safari
+            );
+            let expected = usize::from(expects_fetch);
+            assert_eq!(outcome.stats.aia_attempts, expected, "{}", kind.name());
+            assert_eq!(outcome.stats.aia_fetches, expected, "{}", kind.name());
+            assert_eq!(outcome.stats.aia_retries, 0, "{}", kind.name());
+        }
+
+        // The completeness analyzer classifies the list the same way.
+        let analyzer =
+            CompletenessAnalyzer::new(&e.checker, e.programs.unified(), Some(&e.aia));
+        let analysis = analyzer.analyze(&served);
+        assert_eq!(
+            analysis.incomplete_reason,
+            Some(IncompleteReason::AiaWrongCertificate)
+        );
     }
 
     #[test]

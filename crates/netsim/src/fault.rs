@@ -1,0 +1,449 @@
+//! Deterministic network-fault injection for the AIA fetch path.
+//!
+//! The paper's I-4 impact class shows AIA completion is the capability
+//! whose failure most directly costs availability: 579 measured caIssuers
+//! URIs were dead or served the wrong certificate. Real fetch paths also
+//! exhibit *transient* failures and latency, which interact with client
+//! retry policies. This module models those behaviours without touching
+//! wall-clock time:
+//!
+//! - [`AiaTransport`] abstracts "fetch the certificate at this URI" so the
+//!   chain builder can talk to either the plain [`AiaRepository`] or a
+//!   fault-injecting wrapper;
+//! - [`FaultPlan`] is a *pure function* from (seed, URI) to a fault class
+//!   and a simulated latency — no per-URI mutable state, no wall time — so
+//!   every decision is reproducible regardless of thread interleaving;
+//! - [`FaultyTransport`] applies a plan on top of a repository, with
+//!   per-class cost accounting for the chaos experiments.
+//!
+//! Determinism argument: a fetch outcome depends only on
+//! `(plan.seed, uri, attempt)`. The builder threads the attempt number in
+//! and accumulates latency on its own per-build simulated clock
+//! (`BuildStats.sim_latency_ms`), so two sweeps with the same corpus seed
+//! and the same plan seed produce bit-identical results for any worker
+//! count.
+
+use crate::aia::AiaRepository;
+use ccc_crypto::Drbg;
+use ccc_x509::Certificate;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What one fetch attempt returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// The URI resolved to a (parseable) certificate. A wrong-certificate
+    /// injection still surfaces here — the *caller* discovers the mismatch
+    /// when the certificate fails to act as an issuer.
+    Success(Certificate),
+    /// Permanent failure: connection refused / 404. Retrying is useless.
+    Dead,
+    /// Transient failure (timeout, connection reset): a later attempt to
+    /// the same URI may succeed.
+    Transient,
+    /// The URI resolved but served truncated/corrupt DER that does not
+    /// parse as a certificate. Permanent for this URI.
+    Corrupt,
+}
+
+/// One fetch attempt's outcome plus its simulated cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchResponse {
+    /// The payload or failure class.
+    pub outcome: FetchOutcome,
+    /// Simulated round-trip cost of this attempt in milliseconds. The
+    /// caller adds it to its own simulated clock; no wall time is read.
+    pub latency_ms: u64,
+}
+
+impl FetchResponse {
+    /// A zero-latency response (the plain in-memory repository).
+    pub fn instant(outcome: FetchOutcome) -> FetchResponse {
+        FetchResponse {
+            outcome,
+            latency_ms: 0,
+        }
+    }
+}
+
+/// The transport the chain builder fetches AIA issuers through.
+///
+/// `Sync` because builds run on worker threads borrowing one transport;
+/// `Debug` because the transport rides inside `BuildContext`, which derives
+/// it. `attempt` is 1-based and lets implementations model
+/// fail-first-N-attempts URIs as a pure function (no interior mutability
+/// needed for the decision itself).
+pub trait AiaTransport: Sync + fmt::Debug {
+    /// Fetch the certificate at `uri`; `attempt` is the 1-based attempt
+    /// number within one build's retry loop for this URI.
+    fn fetch_aia(&self, uri: &str, attempt: u32) -> FetchResponse;
+}
+
+/// The plain repository is the zero-fault, zero-latency transport: every
+/// published URI succeeds instantly, everything else is permanently dead.
+/// This keeps all existing (non-chaos) behaviour byte-identical.
+impl AiaTransport for AiaRepository {
+    fn fetch_aia(&self, uri: &str, _attempt: u32) -> FetchResponse {
+        match self.fetch(uri) {
+            Some(cert) => FetchResponse::instant(FetchOutcome::Success(cert)),
+            None => FetchResponse::instant(FetchOutcome::Dead),
+        }
+    }
+}
+
+/// The fault class a plan assigns to one URI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UriFault {
+    /// Fetches succeed (subject to the underlying repository).
+    Healthy,
+    /// The first `fail_attempts` attempts fail transiently; later attempts
+    /// reach the repository.
+    Transient {
+        /// How many leading attempts fail.
+        fail_attempts: u32,
+    },
+    /// Every attempt fails permanently.
+    Dead,
+    /// Every attempt returns unparseable DER.
+    Corrupt,
+}
+
+/// A seeded, deterministic fault plan.
+///
+/// Classification and latency are drawn from a DRBG forked per URI, so the
+/// decision for a URI depends only on `(seed, uri)` — never on fetch
+/// order, thread count, or wall time. Draw order inside the fork is fixed
+/// (latency jitter, then the class roll, then the transient depth), which
+/// keeps plans stable if rates change between scenarios sharing a seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed for per-URI draws.
+    pub seed: u64,
+    /// Probability a URI fails its first attempts transiently.
+    pub transient_rate: f64,
+    /// Probability a URI is permanently dead.
+    pub dead_rate: f64,
+    /// Probability a URI serves corrupt DER.
+    pub corrupt_rate: f64,
+    /// Upper bound on leading transient failures per URI (each transient
+    /// URI draws its depth uniformly from `1..=max_transient_failures`).
+    pub max_transient_failures: u32,
+    /// Base simulated round-trip latency per attempt.
+    pub base_latency_ms: u64,
+    /// Additional per-URI latency drawn uniformly from
+    /// `0..=latency_jitter_ms`.
+    pub latency_jitter_ms: u64,
+}
+
+impl FaultPlan {
+    /// The zero-fault plan: every fetch healthy, zero latency. Wrapping a
+    /// repository with this plan is behaviourally identical to using the
+    /// repository directly (the equivalence is pinned by tests).
+    pub fn zero(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_rate: 0.0,
+            dead_rate: 0.0,
+            corrupt_rate: 0.0,
+            max_transient_failures: 0,
+            base_latency_ms: 0,
+            latency_jitter_ms: 0,
+        }
+    }
+
+    /// A plan injecting faults on roughly `rate` of all URIs, split
+    /// 60% transient / 30% dead / 10% corrupt — the shape of the paper's
+    /// observed failure mix, with transience dominating as in real scan
+    /// error budgets.
+    pub fn with_fault_rate(seed: u64, rate: f64) -> FaultPlan {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultPlan {
+            seed,
+            transient_rate: 0.6 * rate,
+            dead_rate: 0.3 * rate,
+            corrupt_rate: 0.1 * rate,
+            max_transient_failures: 2,
+            base_latency_ms: 20,
+            latency_jitter_ms: 80,
+        }
+    }
+
+    /// True when the plan can never alter a fetch.
+    pub fn is_zero(&self) -> bool {
+        self.transient_rate == 0.0
+            && self.dead_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.base_latency_ms == 0
+            && self.latency_jitter_ms == 0
+    }
+
+    /// Per-attempt simulated latency for `uri` (base plus per-URI jitter).
+    pub fn latency_for(&self, uri: &str) -> u64 {
+        let (latency, _) = self.draws(uri);
+        latency
+    }
+
+    /// The fault class assigned to `uri` — a pure function of
+    /// `(self.seed, uri)`.
+    pub fn classify(&self, uri: &str) -> UriFault {
+        let (_, fault) = self.draws(uri);
+        fault
+    }
+
+    /// Both per-URI draws, in the fixed order: latency jitter, class
+    /// roll, transient depth.
+    fn draws(&self, uri: &str) -> (u64, UriFault) {
+        let mut rng = Drbg::from_u64(self.seed).fork(uri);
+        let latency = if self.latency_jitter_ms > 0 {
+            self.base_latency_ms + rng.below(self.latency_jitter_ms + 1)
+        } else {
+            let _ = rng.next_u64(); // keep draw order fixed across plans
+            self.base_latency_ms
+        };
+        let roll = rng.unit_f64();
+        let fault = if roll < self.transient_rate {
+            let max = self.max_transient_failures.max(1) as u64;
+            UriFault::Transient {
+                fail_attempts: (1 + rng.below(max)) as u32,
+            }
+        } else if roll < self.transient_rate + self.dead_rate {
+            UriFault::Dead
+        } else if roll < self.transient_rate + self.dead_rate + self.corrupt_rate {
+            UriFault::Corrupt
+        } else {
+            UriFault::Healthy
+        };
+        (latency, fault)
+    }
+}
+
+/// Cumulative fetch-cost counters for one [`FaultyTransport`].
+///
+/// Totals only (atomically summed), so they are reproducible across
+/// thread interleavings; per-build attribution lives in `BuildStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportCosts {
+    /// Total fetch attempts routed through the transport.
+    pub attempts: u64,
+    /// Attempts answered with a transient failure.
+    pub transient_failures: u64,
+    /// Attempts answered permanently dead by the plan.
+    pub dead_hits: u64,
+    /// Attempts answered with corrupt DER.
+    pub corrupt_hits: u64,
+    /// Simulated latency charged across all attempts, in milliseconds.
+    pub latency_ms: u64,
+}
+
+/// An [`AiaTransport`] applying a [`FaultPlan`] on top of a repository.
+#[derive(Debug)]
+pub struct FaultyTransport<'r> {
+    repo: &'r AiaRepository,
+    plan: FaultPlan,
+    attempts: AtomicU64,
+    transient_failures: AtomicU64,
+    dead_hits: AtomicU64,
+    corrupt_hits: AtomicU64,
+    latency_ms: AtomicU64,
+}
+
+impl<'r> FaultyTransport<'r> {
+    /// Wrap `repo` with `plan`.
+    pub fn new(repo: &'r AiaRepository, plan: FaultPlan) -> FaultyTransport<'r> {
+        FaultyTransport {
+            repo,
+            plan,
+            attempts: AtomicU64::new(0),
+            transient_failures: AtomicU64::new(0),
+            dead_hits: AtomicU64::new(0),
+            corrupt_hits: AtomicU64::new(0),
+            latency_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of the cumulative cost counters.
+    pub fn costs(&self) -> TransportCosts {
+        TransportCosts {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            transient_failures: self.transient_failures.load(Ordering::Relaxed),
+            dead_hits: self.dead_hits.load(Ordering::Relaxed),
+            corrupt_hits: self.corrupt_hits.load(Ordering::Relaxed),
+            latency_ms: self.latency_ms.load(Ordering::Relaxed),
+        }
+    }
+
+    fn resolve(&self, uri: &str, latency_ms: u64) -> FetchResponse {
+        let outcome = match self.repo.fetch(uri) {
+            Some(cert) => FetchOutcome::Success(cert),
+            None => FetchOutcome::Dead,
+        };
+        FetchResponse {
+            outcome,
+            latency_ms,
+        }
+    }
+}
+
+impl AiaTransport for FaultyTransport<'_> {
+    fn fetch_aia(&self, uri: &str, attempt: u32) -> FetchResponse {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        let (latency_ms, fault) = self.plan.draws(uri);
+        self.latency_ms.fetch_add(latency_ms, Ordering::Relaxed);
+        match fault {
+            UriFault::Healthy => self.resolve(uri, latency_ms),
+            UriFault::Transient { fail_attempts } => {
+                if attempt <= fail_attempts {
+                    self.transient_failures.fetch_add(1, Ordering::Relaxed);
+                    FetchResponse {
+                        outcome: FetchOutcome::Transient,
+                        latency_ms,
+                    }
+                } else {
+                    self.resolve(uri, latency_ms)
+                }
+            }
+            UriFault::Dead => {
+                self.dead_hits.fetch_add(1, Ordering::Relaxed);
+                FetchResponse {
+                    outcome: FetchOutcome::Dead,
+                    latency_ms,
+                }
+            }
+            UriFault::Corrupt => {
+                self.corrupt_hits.fetch_add(1, Ordering::Relaxed);
+                FetchResponse {
+                    outcome: FetchOutcome::Corrupt,
+                    latency_ms,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_crypto::{Group, KeyPair};
+    use ccc_x509::{CertificateBuilder, DistinguishedName};
+
+    fn cert(name: &str, seed: &[u8]) -> Certificate {
+        let kp = KeyPair::from_seed(Group::simulation_256(), seed);
+        CertificateBuilder::ca_profile(DistinguishedName::cn(name)).self_signed(&kp)
+    }
+
+    #[test]
+    fn classification_is_deterministic_per_uri() {
+        let plan = FaultPlan::with_fault_rate(7, 0.5);
+        for i in 0..50 {
+            let uri = format!("http://aia.sim/{i}.crt");
+            assert_eq!(plan.classify(&uri), plan.classify(&uri));
+            assert_eq!(plan.latency_for(&uri), plan.latency_for(&uri));
+        }
+        // A different seed reshuffles assignments.
+        let other = FaultPlan::with_fault_rate(8, 0.5);
+        let differs = (0..50).any(|i| {
+            let uri = format!("http://aia.sim/{i}.crt");
+            plan.classify(&uri) != other.classify(&uri)
+        });
+        assert!(differs, "seed must influence classification");
+    }
+
+    #[test]
+    fn zero_plan_matches_plain_repository() {
+        let mut repo = AiaRepository::empty();
+        let c = cert("A", b"fault-1");
+        repo.publish("http://aia.sim/a.crt", c.clone());
+        let transport = FaultyTransport::new(&repo, FaultPlan::zero(1));
+        assert!(transport.plan().is_zero());
+        let good = transport.fetch_aia("http://aia.sim/a.crt", 1);
+        assert_eq!(good.outcome, FetchOutcome::Success(c));
+        assert_eq!(good.latency_ms, 0);
+        let bad = transport.fetch_aia("http://aia.sim/missing.crt", 1);
+        assert_eq!(bad.outcome, FetchOutcome::Dead);
+        // Underlying repository accounting still works through the wrapper.
+        assert_eq!(repo.fetches(), 2);
+    }
+
+    #[test]
+    fn transient_uri_fails_first_attempts_then_recovers() {
+        let mut repo = AiaRepository::empty();
+        let c = cert("T", b"fault-2");
+        // Find a URI the plan classifies as transient.
+        let plan = FaultPlan {
+            transient_rate: 1.0,
+            ..FaultPlan::with_fault_rate(3, 1.0)
+        };
+        let uri = "http://aia.sim/transient.crt";
+        let UriFault::Transient { fail_attempts } = plan.classify(uri) else {
+            panic!("rate-1.0 plan must classify transient");
+        };
+        assert!(fail_attempts >= 1 && fail_attempts <= plan.max_transient_failures);
+        repo.publish(uri, c.clone());
+        let transport = FaultyTransport::new(&repo, plan);
+        for attempt in 1..=fail_attempts {
+            assert_eq!(
+                transport.fetch_aia(uri, attempt).outcome,
+                FetchOutcome::Transient
+            );
+        }
+        assert_eq!(
+            transport.fetch_aia(uri, fail_attempts + 1).outcome,
+            FetchOutcome::Success(c)
+        );
+        // Transient attempts never reached the repository.
+        assert_eq!(repo.fetches(), 1);
+        let costs = transport.costs();
+        assert_eq!(costs.attempts, u64::from(fail_attempts) + 1);
+        assert_eq!(costs.transient_failures, u64::from(fail_attempts));
+    }
+
+    #[test]
+    fn fault_rate_mix_covers_all_classes() {
+        let plan = FaultPlan::with_fault_rate(11, 1.0);
+        let mut transient = 0;
+        let mut dead = 0;
+        let mut corrupt = 0;
+        for i in 0..200 {
+            match plan.classify(&format!("http://aia.sim/{i}.crt")) {
+                UriFault::Transient { .. } => transient += 1,
+                UriFault::Dead => dead += 1,
+                UriFault::Corrupt => corrupt += 1,
+                UriFault::Healthy => panic!("rate 1.0 leaves no healthy URIs"),
+            }
+        }
+        assert!(transient > dead, "transient dominates the 60/30/10 split");
+        assert!(dead > corrupt);
+        assert!(corrupt > 0);
+    }
+
+    #[test]
+    fn latency_is_bounded_by_base_plus_jitter() {
+        let plan = FaultPlan::with_fault_rate(5, 0.2);
+        for i in 0..100 {
+            let l = plan.latency_for(&format!("http://aia.sim/{i}.crt"));
+            assert!(l >= plan.base_latency_ms);
+            assert!(l <= plan.base_latency_ms + plan.latency_jitter_ms);
+        }
+    }
+
+    #[test]
+    fn repository_is_a_zero_latency_transport() {
+        let mut repo = AiaRepository::empty();
+        let c = cert("R", b"fault-3");
+        repo.publish("http://aia.sim/r.crt", c.clone());
+        let t: &dyn AiaTransport = &repo;
+        assert_eq!(
+            t.fetch_aia("http://aia.sim/r.crt", 1),
+            FetchResponse::instant(FetchOutcome::Success(c))
+        );
+        assert_eq!(
+            t.fetch_aia("http://aia.sim/gone.crt", 3),
+            FetchResponse::instant(FetchOutcome::Dead)
+        );
+    }
+}

@@ -19,6 +19,9 @@ pub enum HandshakeError {
     Io(std::io::Error),
     /// The peer sent a malformed Certificate message.
     Framing(TlsMsgError),
+    /// One or more individual connections failed while the server kept
+    /// serving the rest; each entry is `(connection index, error)`.
+    Connections(Vec<(usize, HandshakeError)>),
 }
 
 impl std::fmt::Display for HandshakeError {
@@ -26,6 +29,13 @@ impl std::fmt::Display for HandshakeError {
         match self {
             HandshakeError::Io(e) => write!(f, "handshake I/O error: {e}"),
             HandshakeError::Framing(e) => write!(f, "handshake framing error: {e}"),
+            HandshakeError::Connections(errs) => {
+                write!(f, "{} connection(s) failed:", errs.len())?;
+                for (idx, e) in errs {
+                    write!(f, " [#{idx}: {e}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -54,18 +64,35 @@ pub struct CertServer {
 impl CertServer {
     /// Spawn a server that serves `certs` to exactly `connections`
     /// clients, then exits.
+    ///
+    /// A connection that errors mid-exchange (client hangs up, write
+    /// fails) does not abort the remaining connections: the error is
+    /// recorded against that connection's index and the listener keeps
+    /// accepting. [`join`](Self::join) surfaces all recorded failures as
+    /// [`HandshakeError::Connections`].
     pub fn spawn(certs: Vec<Certificate>, connections: usize) -> Result<CertServer, HandshakeError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let msg = tlsmsg::encode_tls12(&certs)?;
         let handle = std::thread::spawn(move || -> Result<(), HandshakeError> {
-            for _ in 0..connections {
-                let (mut stream, _) = listener.accept()?;
-                stream.write_all(&msg)?;
-                stream.flush()?;
-                // Closing the stream signals end-of-message.
+            let mut failures: Vec<(usize, HandshakeError)> = Vec::new();
+            for index in 0..connections {
+                let served = (|| -> Result<(), HandshakeError> {
+                    let (mut stream, _) = listener.accept()?;
+                    stream.write_all(&msg)?;
+                    stream.flush()?;
+                    // Closing the stream signals end-of-message.
+                    Ok(())
+                })();
+                if let Err(e) = served {
+                    failures.push((index, e));
+                }
             }
-            Ok(())
+            if failures.is_empty() {
+                Ok(())
+            } else {
+                Err(HandshakeError::Connections(failures))
+            }
         });
         Ok(CertServer {
             addr,
@@ -149,5 +176,36 @@ mod tests {
     fn empty_chain_roundtrips() {
         let received = loopback_roundtrip(&[]).unwrap();
         assert!(received.is_empty());
+    }
+
+    #[test]
+    fn connection_error_does_not_abort_remaining_clients() {
+        // A message far larger than any socket buffer, so writing to a
+        // client that hung up reliably fails mid-exchange (RST → EPIPE /
+        // ECONNRESET) instead of being absorbed by the kernel.
+        let pair = chain();
+        let certs: Vec<Certificate> = std::iter::repeat(pair)
+            .take(8_000)
+            .flatten()
+            .collect();
+        let server = CertServer::spawn(certs.clone(), 2).unwrap();
+
+        // Connection 0: connect and hang up without reading anything.
+        drop(TcpStream::connect(server.addr()).unwrap());
+
+        // Connection 1 must still be served in full despite the failure.
+        let received = fetch_certificate_list(server.addr()).unwrap();
+        assert_eq!(received.len(), certs.len());
+        assert_eq!(received, certs);
+
+        // join surfaces exactly the one failed connection, by index.
+        match server.join() {
+            Err(HandshakeError::Connections(errs)) => {
+                assert_eq!(errs.len(), 1, "{errs:?}");
+                assert_eq!(errs[0].0, 0);
+                assert!(matches!(errs[0].1, HandshakeError::Io(_)));
+            }
+            other => panic!("expected per-connection error report, got {other:?}"),
+        }
     }
 }

@@ -15,11 +15,15 @@
 //! - [`admin`]: the administrator behaviours that convert issued files
 //!   into deployed chains (naive merges, stale leftovers, omissions);
 //! - [`handshake`]: a minimal TCP loopback "TLS-like" handshake that
-//!   carries the Certificate message end-to-end.
+//!   carries the Certificate message end-to-end;
+//! - [`fault`]: deterministic network-fault injection over the AIA path
+//!   (seeded per-URI latency, transient/dead/corrupt URIs) behind the
+//!   [`AiaTransport`] trait.
 
 pub mod admin;
 pub mod aia;
 pub mod ca;
+pub mod fault;
 pub mod handshake;
 pub mod httpserver;
 pub mod tlsmsg;
@@ -27,4 +31,8 @@ pub mod tlsmsg;
 pub use admin::{AdminBehavior, AdminError};
 pub use aia::{AiaFailure, AiaRepository};
 pub use ca::{CaProfile, IssuedBundle};
+pub use fault::{
+    AiaTransport, FaultPlan, FaultyTransport, FetchOutcome, FetchResponse, TransportCosts,
+    UriFault,
+};
 pub use httpserver::{DeployError, DeploymentFiles, DeploymentOutcome, HttpServerKind};

@@ -13,6 +13,9 @@
 //!                              [--format text|json|sarif] [--time YYYY-MM-DD]
 //!                              [--baseline f] [--write-baseline f]
 //!                                        static-analysis pass over the chain
+//! chain-chaos chaos [--domains N] [--fault-seed S] [--rates a,b,c]
+//!                                        I-4 availability under deterministic
+//!                                        network-fault injection
 //! ```
 //!
 //! `lint` exits non-zero iff Error-severity findings remain after baseline
@@ -378,6 +381,79 @@ fn cmd_lint(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
+/// `chain-chaos chaos`: sweep the synthetic scan corpus through every
+/// (fault scenario × client profile) pair and print the I-4 availability
+/// table. Output is byte-identical for any `CCC_THREADS` worker count.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    use chain_chaos::bench::{scan_corpus, FaultPass, FaultScenario, Pipeline};
+    use chain_chaos::netsim::FaultPlan;
+
+    let domains: usize = match args.opt("domains") {
+        Some(v) => v.parse().map_err(|_| format!("bad --domains '{v}'"))?,
+        None => 1_000,
+    };
+    let fault_seed: Option<u64> = match args.opt("fault-seed") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --fault-seed '{v}'"))?),
+        None => None,
+    };
+    let rates: Vec<f64> = match args.opt("rates") {
+        Some(v) => v
+            .split(',')
+            .map(|r| {
+                r.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad rate '{r}'"))
+            })
+            .collect::<Result<Vec<f64>, String>>()?,
+        None => vec![0.0, 0.1, 0.3],
+    };
+    if rates.is_empty() {
+        return Err("--rates needs at least one rate".to_string());
+    }
+
+    eprintln!("chaos-sweeping {domains} synthetic domains across {} fault scenario(s)…", rates.len());
+    let corpus = scan_corpus(domains);
+    let scenarios: Vec<FaultScenario> = rates
+        .iter()
+        .map(|&rate| {
+            let mut sc = FaultScenario::for_corpus(&corpus, rate);
+            if let Some(seed) = fault_seed {
+                sc.plan = if rate <= 0.0 {
+                    FaultPlan::zero(seed)
+                } else {
+                    FaultPlan::with_fault_rate(seed, rate)
+                };
+            }
+            sc
+        })
+        .collect();
+
+    let checker = IssuanceChecker::new();
+    let (pass, stats) = Pipeline::from_env().run(&corpus, &checker, FaultPass::new(scenarios));
+    let summary = pass.into_summary();
+
+    println!("{}", summary.render_table());
+    for scenario in &summary.scenarios {
+        let recovered: usize = scenario.per_client.values().map(|c| c.recovered).sum();
+        let retries: usize = scenario.per_client.values().map(|c| c.aia_retries).sum();
+        let exhausted: usize = scenario
+            .per_client
+            .values()
+            .map(|c| c.budget_exhausted)
+            .sum();
+        println!(
+            "{}: {} retr{}, {} chain(s) recovered by retrying clients, {} budget exhaustion(s)",
+            scenario.label,
+            retries,
+            if retries == 1 { "y" } else { "ies" },
+            recovered,
+            exhausted
+        );
+    }
+    eprintln!("{}", stats.render());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(raw) {
@@ -394,6 +470,7 @@ fn main() -> ExitCode {
         "build" => cmd_build(&args).map(|()| ExitCode::SUCCESS),
         "matrix" => cmd_matrix(&args).map(|()| ExitCode::SUCCESS),
         "lint" => cmd_lint(&args),
+        "chaos" => cmd_chaos(&args).map(|()| ExitCode::SUCCESS),
         _ => {
             eprintln!(
                 "chain-chaos — Web PKI certificate chain compliance toolkit\n\n\
@@ -403,7 +480,8 @@ fn main() -> ExitCode {
                  \x20 build   <chain.pem> --store roots.pem [--client NAME] [--domain D] [--time YYYY-MM-DD]\n\
                  \x20 matrix  <chain.pem> --store roots.pem [--domain D] [--time YYYY-MM-DD]\n\
                  \x20 lint    <chain.pem> [--domain D] [--store roots.pem] [--format text|json|sarif]\n\
-                 \x20         [--time YYYY-MM-DD] [--baseline f] [--write-baseline f]"
+                 \x20         [--time YYYY-MM-DD] [--baseline f] [--write-baseline f]\n\
+                 \x20 chaos   [--domains N] [--fault-seed S] [--rates a,b,c]"
             );
             return ExitCode::FAILURE;
         }

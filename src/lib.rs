@@ -19,6 +19,7 @@
 //! | [`core`] | `ccc-core` | compliance analysis, chain builder, clients, differential testing |
 //! | [`testgen`] | `ccc-testgen` | capability tests, scenarios, mutations, corpus |
 //! | [`lint`] | `ccc-lint` | zlint-style rule registry, SARIF/JSONL diagnostics, baselines |
+//! | [`bench`] | `ccc-bench` | fused analysis pipeline, corpus tables, fault-injection sweeps |
 //!
 //! ## Quick start
 //!
@@ -55,6 +56,7 @@
 //! ```
 
 pub use ccc_asn1 as asn1;
+pub use ccc_bench as bench;
 pub use ccc_bignum as bignum;
 pub use ccc_core as core;
 pub use ccc_crypto as crypto;
