@@ -1,6 +1,6 @@
 //! Machine-readable perf snapshots.
 //!
-//! Two cases:
+//! Three cases:
 //!
 //! - **modexp**: times the three arithmetic paths (schoolbook
 //!   `modpow_naive`, the Montgomery fixed-window `MontgomeryCtx::modpow`,
@@ -11,18 +11,26 @@
 //!   three sequential standalone sweeps, each with a fresh checker, on a
 //!   1k-domain corpus → `BENCH_pipeline.json`. The run first asserts the
 //!   fused summaries are identical to the sequential ones.
+//! - **verify**: times the three Schnorr verification routes (the legacy
+//!   two-independent-pows baseline, the cold Straus joint multi-exp, the
+//!   hot per-key fixed-base lookup) on both groups, then A/Bs a 1k-domain
+//!   fused sweep under `TablePolicy::Never` vs `Always` →
+//!   `BENCH_verify.json`. Routes are cross-checked for verdict agreement
+//!   before any timing.
 //!
 //! ```text
-//! perf_snapshot                       both cases, default output paths
+//! perf_snapshot                       all cases, default output paths
 //! perf_snapshot <path>                modexp only (CI compat)
 //! perf_snapshot --pipeline <path>     pipeline only
+//! perf_snapshot --verify <path>       verify only
 //! ```
 //!
 //! The committed snapshots back the perf tables in README and the
 //! acceptance thresholds (≥5× 1536-bit modexp, ≥10× fixed-base `g^k`,
-//! ≥2.5× fused 3-analysis sweep); CI runs this binary in smoke steps to
-//! keep them from bit-rotting. Set `CCC_SNAPSHOT_ITERS` to raise the
-//! iteration count for a lower-noise measurement.
+//! ≥2.5× fused 3-analysis sweep, ≥2× hot verify route); CI runs this
+//! binary in smoke steps to keep them from bit-rotting. Set
+//! `CCC_SNAPSHOT_ITERS` to raise the iteration count for a lower-noise
+//! measurement.
 
 use ccc_bench::{
     CompliancePass, CorpusSummary, DifferentialPass, DifferentialSummary, LintPass, Pipeline,
@@ -30,7 +38,9 @@ use ccc_bench::{
 };
 use ccc_bignum::{modpow_naive, FixedBaseTable, MontgomeryCtx, Uint};
 use ccc_core::IssuanceChecker;
-use ccc_crypto::{Drbg, Group};
+use ccc_crypto::{
+    set_verify_table_policy, sha256, Drbg, Group, KeyPair, Signature, TablePolicy, VerifyRoute,
+};
 use ccc_lint::LintSummary;
 use std::time::{Duration, Instant};
 
@@ -236,6 +246,201 @@ fn write_modexp_snapshot(out_path: &str, iters: usize) {
     println!("wrote {out_path}");
 }
 
+/// The pre-amortization verification — fixed-base `g^s` next to a generic
+/// 4-bit-window `y^(q-e)` with no per-key state (what `PublicKey::verify`
+/// did before the intern registry). The baseline the routes are judged
+/// against; mirrored in `benches/verify.rs`.
+fn verify_legacy(kp: &KeyPair, message: &[u8], sig: &Signature) -> bool {
+    let group = kp.public.group();
+    if sig.s.len() != group.scalar_len {
+        return false;
+    }
+    let s = Uint::from_bytes_be(&sig.s);
+    if s >= group.q {
+        return false;
+    }
+    let e_scalar = Uint::from_bytes_be(&sig.e).rem(&group.q).expect("q > 0");
+    let neg_e = group.q.checked_sub(&e_scalar).expect("e < q");
+    let ctx = MontgomeryCtx::new(&group.p).expect("p odd");
+    let gs = ctx.to_montgomery(&group.pow_g(&s));
+    let y = ctx.to_montgomery(&Uint::from_bytes_be(kp.public.as_bytes()));
+    let ye = ctx.pow_mont(&y, &neg_e);
+    let r = ctx.from_montgomery(&ctx.mul(&gs, &ye));
+    let r_bytes = match r.to_bytes_be_padded(group.element_len) {
+        Some(b) => b,
+        None => return false,
+    };
+    let mut buf = r_bytes;
+    buf.extend_from_slice(message);
+    sha256(&buf) == sig.e
+}
+
+/// ns/op for the three verify routes over one CA-style key on `group`.
+fn run_verify_case(label: &'static str, group: &'static Group, iters: usize) -> CaseResult {
+    let kp = KeyPair::from_seed(group, b"bench-verify-ca-key");
+    let mut drbg = Drbg::from_u64(0xbe9c_4a11);
+    let sigs: Vec<(Vec<u8>, Signature)> = (0..4)
+        .map(|_| {
+            let message = drbg.bytes(48);
+            let sig = kp.private.sign(&message);
+            (message, sig)
+        })
+        .collect();
+
+    // Route agreement gate before timing; the hot calls also build the
+    // per-key table so the timed region is steady-state.
+    for (message, sig) in &sigs {
+        assert!(verify_legacy(&kp, message, sig), "{label}: legacy reject");
+        assert!(
+            kp.public.verify_via(VerifyRoute::MultiExp, message, sig),
+            "{label}: cold route reject"
+        );
+        assert!(
+            kp.public.verify_via(VerifyRoute::FixedBase, message, sig),
+            "{label}: hot route reject"
+        );
+    }
+
+    let per = |total: f64| total / sigs.len() as f64;
+    let legacy = per(time_path(iters, || {
+        for (message, sig) in &sigs {
+            std::hint::black_box(verify_legacy(&kp, message, sig));
+        }
+    }));
+    let cold = per(time_path(iters, || {
+        for (message, sig) in &sigs {
+            std::hint::black_box(kp.public.verify_via(VerifyRoute::MultiExp, message, sig));
+        }
+    }));
+    let hot = per(time_path(iters, || {
+        for (message, sig) in &sigs {
+            std::hint::black_box(kp.public.verify_via(VerifyRoute::FixedBase, message, sig));
+        }
+    }));
+
+    CaseResult {
+        label,
+        modulus_bits: group.p.bit_len(),
+        exponent_bits: group.q.bit_len(),
+        iters,
+        paths: vec![
+            PathTiming { name: "legacy_two_pows", nanos_per_op: legacy },
+            PathTiming { name: "cold_multiexp", nanos_per_op: cold },
+            PathTiming { name: "hot_fixed_base", nanos_per_op: hot },
+        ],
+    }
+}
+
+/// Best-of-`iters` wall time for a fused 1k-domain sweep under `policy`.
+/// Returns the wall time and the sweep's cache stats (route counters
+/// included). Summaries are captured so the caller can assert policy
+/// independence.
+fn run_pipeline_under_policy(
+    corpus: &ccc_testgen::Corpus,
+    policy: TablePolicy,
+    iters: usize,
+) -> (Duration, PipelineStats, (CorpusSummary, DifferentialSummary, LintSummary)) {
+    set_verify_table_policy(policy);
+    let mut best = Duration::MAX;
+    let mut best_stats = None;
+    let mut summaries = None;
+    for _ in 0..iters {
+        let checker = IssuanceChecker::new();
+        let start = Instant::now();
+        let ((fc, fd, fl), stats) = Pipeline::from_env().run(
+            corpus,
+            &checker,
+            (CompliancePass::new(), DifferentialPass::new(), LintPass::new()),
+        );
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+            best_stats = Some(stats);
+        }
+        summaries = Some((fc.summary, fd.summary, fl.summary));
+    }
+    (best, best_stats.expect("iters > 0"), summaries.expect("iters > 0"))
+}
+
+fn write_verify_snapshot(out_path: &str, iters: usize, pipeline_iters: usize) {
+    let results = [
+        run_verify_case("sim256", Group::simulation_256(), iters * 8),
+        run_verify_case("rfc3526_1536", Group::rfc3526_1536(), iters),
+    ];
+
+    // 1k-domain fused sweep, all-cold vs all-hot. Verdict (and therefore
+    // summary) equality across policies is asserted, not assumed.
+    let corpus = ccc_bench::scan_corpus(PIPELINE_DOMAINS);
+    let (cold_wall, cold_stats, cold_summaries) =
+        run_pipeline_under_policy(&corpus, TablePolicy::Never, pipeline_iters);
+    let (hot_wall, hot_stats, hot_summaries) =
+        run_pipeline_under_policy(&corpus, TablePolicy::Always, pipeline_iters);
+    set_verify_table_policy(TablePolicy::Auto);
+    assert_eq!(cold_summaries, hot_summaries, "route policy changed analysis results");
+    let pipeline_speedup = cold_wall.as_secs_f64() / hot_wall.as_secs_f64();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"verify\",\n  \"unit\": \"ns_per_op\",\n  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let legacy = r.paths[0].nanos_per_op;
+        json.push_str(&format!(
+            "    {{\n      \"label\": \"{}\",\n      \"modulus_bits\": {},\n      \"exponent_bits\": {},\n      \"iters\": {},\n      \"paths\": {{\n",
+            r.label, r.modulus_bits, r.exponent_bits, r.iters
+        ));
+        for (j, p) in r.paths.iter().enumerate() {
+            json.push_str(&format!(
+                "        \"{}\": {{ \"ns_per_op\": {:.0}, \"speedup_vs_legacy\": {:.2} }}{}\n",
+                p.name,
+                p.nanos_per_op,
+                legacy / p.nanos_per_op,
+                if j + 1 < r.paths.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("      }\n    }");
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"pipeline_1k\": {{\n    \"domains\": {},\n    \"iters\": {},\n    \"threads\": {},\n    \"all_cold_s\": {:.4},\n    \"all_hot_s\": {:.4},\n    \"speedup\": {:.2},\n    \"hot_routes\": {{ \"fixed_base_hits\": {}, \"cold_multiexps\": {}, \"tables_built\": {} }},\n    \"cold_routes\": {{ \"fixed_base_hits\": {}, \"cold_multiexps\": {}, \"tables_built\": {} }}\n  }}\n",
+        PIPELINE_DOMAINS,
+        pipeline_iters,
+        hot_stats.threads,
+        cold_wall.as_secs_f64(),
+        hot_wall.as_secs_f64(),
+        pipeline_speedup,
+        hot_stats.cache.fixed_base_hits,
+        hot_stats.cache.cold_multiexps,
+        hot_stats.cache.tables_built,
+        cold_stats.cache.fixed_base_hits,
+        cold_stats.cache.cold_multiexps,
+        cold_stats.cache.tables_built,
+    ));
+    json.push_str("}\n");
+    std::fs::write(out_path, &json).expect("write verify snapshot");
+
+    for r in &results {
+        let legacy = r.paths[0].nanos_per_op;
+        println!(
+            "{} ({}-bit modulus, {}-bit exponent):",
+            r.label, r.modulus_bits, r.exponent_bits
+        );
+        for p in &r.paths {
+            println!(
+                "  {:<20} {:>12.0} ns/op   {:>6.2}x vs legacy",
+                p.name,
+                p.nanos_per_op,
+                legacy / p.nanos_per_op
+            );
+        }
+    }
+    println!(
+        "pipeline ({PIPELINE_DOMAINS} domains, 3 passes): all-cold {:.3}s, all-hot {:.3}s, {pipeline_speedup:.2}x",
+        cold_wall.as_secs_f64(),
+        hot_wall.as_secs_f64()
+    );
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let iters: usize = std::env::var("CCC_SNAPSHOT_ITERS")
@@ -253,12 +458,18 @@ fn main() {
             let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pipeline.json");
             write_pipeline_snapshot(out, pipeline_iters);
         }
+        // Verify routes only: `perf_snapshot --verify [path]`.
+        Some("--verify") => {
+            let out = args.get(1).map(String::as_str).unwrap_or("BENCH_verify.json");
+            write_verify_snapshot(out, iters, pipeline_iters);
+        }
         // Modexp only, to an explicit path (CI compat).
         Some(path) => write_modexp_snapshot(path, iters),
-        // Default: both snapshots at their committed paths.
+        // Default: all snapshots at their committed paths.
         None => {
             write_modexp_snapshot("BENCH_modexp.json", iters);
             write_pipeline_snapshot("BENCH_pipeline.json", pipeline_iters);
+            write_verify_snapshot("BENCH_verify.json", iters, pipeline_iters);
         }
     }
 }

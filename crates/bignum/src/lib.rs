@@ -6,16 +6,20 @@
 //! a real discrete-log signature scheme for the synthetic Web PKI used by
 //! chain-chaos. It stays dependency-free, but the hot path is engineered:
 //! [`modpow`] dispatches odd moduli to CIOS Montgomery multiplication with
-//! 4-bit fixed-window exponentiation, and [`FixedBaseTable`] provides
-//! Brauer fixed-base windowing for generators that are exponentiated
-//! millions of times per corpus pass (see `montgomery`).
+//! 4-bit fixed-window exponentiation, [`FixedBaseTable`] provides Brauer
+//! fixed-base windowing for bases that are exponentiated millions of times
+//! per corpus pass (see `montgomery`), and [`multiexp`] provides Straus
+//! interleaved joint exponentiation (`a^x · b^y` on one shared squaring
+//! chain) for verification-shaped products.
 
 mod modular;
 mod montgomery;
+pub mod multiexp;
 mod prime;
 mod uint;
 
 pub use modular::{modinv, modpow, modpow_naive};
 pub use montgomery::{FixedBaseTable, MontElem, MontgomeryCtx};
+pub use multiexp::{joint_modpow, joint_pow_mont, joint_pow_with_powers, window_powers};
 pub use prime::is_probable_prime;
 pub use uint::Uint;

@@ -31,7 +31,9 @@
 use crate::uint::Uint;
 
 /// Exponentiation window width in bits (tables hold `2^W - 1` entries).
-const WINDOW: usize = 4;
+/// Shared with the Straus joint-exponentiation module (`multiexp`), whose
+/// digit tables must agree with the fixed-base rows to be interchangeable.
+pub(crate) const WINDOW: usize = 4;
 
 /// A residue in Montgomery form with respect to some [`MontgomeryCtx`].
 ///
@@ -291,8 +293,20 @@ impl FixedBaseTable {
     /// Precompute the window tables for `base` (normal form) under `ctx`,
     /// covering exponents up to `max_exp_bits` bits.
     pub fn new(ctx: &MontgomeryCtx, base: &Uint, max_exp_bits: usize) -> FixedBaseTable {
+        FixedBaseTable::from_mont(ctx, &ctx.to_montgomery(base), max_exp_bits)
+    }
+
+    /// Precompute the window tables for a base that is *already* a
+    /// Montgomery residue of `ctx`.
+    ///
+    /// This is the general entry point: any group element — not just a
+    /// generator — can be promoted to fixed-base treatment once it is
+    /// known to be exponentiated repeatedly (e.g. a CA public key `y`
+    /// verified against for many certificates). `new` is the normal-form
+    /// convenience wrapper.
+    pub fn from_mont(ctx: &MontgomeryCtx, base: &MontElem, max_exp_bits: usize) -> FixedBaseTable {
         let windows = max_exp_bits.div_ceil(WINDOW).max(1);
-        let mut block_base = ctx.to_montgomery(base);
+        let mut block_base = base.clone();
         let mut table = Vec::with_capacity(windows);
         for w in 0..windows {
             let mut row = Vec::with_capacity((1 << WINDOW) - 1);
@@ -314,6 +328,17 @@ impl FixedBaseTable {
     /// Highest exponent bit width the table covers.
     pub fn max_exp_bits(&self) -> usize {
         self.max_bits
+    }
+
+    /// The first window row: `base^d` for `d ∈ [1, 2^WINDOW)`.
+    ///
+    /// This is exactly the digit table
+    /// [`multiexp::window_powers`](crate::multiexp::window_powers) would
+    /// build for the same base, so Straus joint exponentiation can borrow
+    /// it instead of recomputing (the generator side of a Schnorr
+    /// verification does this).
+    pub fn first_row(&self) -> &[MontElem] {
+        &self.table[0]
     }
 
     /// `base^exp` in Montgomery form.

@@ -1,0 +1,201 @@
+//! Straus/Shamir interleaved joint exponentiation in Montgomery form.
+//!
+//! Verification-shaped workloads compute a *product* of two powers,
+//! `a^x · b^y mod n`, and evaluating the two exponentiations separately
+//! pays for two full squaring chains. Straus's trick shares one chain:
+//! walk both exponents top-down in [`WINDOW`]-bit digits, square the
+//! running result `WINDOW` times per step, and multiply in the matching
+//! precomputed power of each base whose digit is non-zero. The cost drops
+//! from `2·bits` squarings to `bits`, with at most two extra
+//! multiplications per window.
+//!
+//! The per-base digit tables (`base^1 .. base^(2^WINDOW - 1)`) are the
+//! same shape [`MontgomeryCtx::pow_mont`] builds internally, exposed here
+//! as [`window_powers`] so callers that already hold a table for one base
+//! — e.g. the generator row of a
+//! [`FixedBaseTable`](crate::FixedBaseTable) — can pass it in via
+//! [`joint_pow_with_powers`] and only pay table setup for the other base.
+//!
+//! Everything is exact integer arithmetic: results are bit-identical to
+//! multiplying two independent [`modpow`](crate::modpow) results, which
+//! the proptest suite (`crates/bignum/tests/multiexp_equiv.rs`) pins.
+
+use crate::montgomery::{MontElem, MontgomeryCtx, WINDOW};
+use crate::uint::Uint;
+
+/// The digit table for one base: `base^d` for `d ∈ [1, 2^WINDOW)`, in
+/// Montgomery form (`2^WINDOW - 1` entries; index `d - 1` holds `base^d`).
+pub fn window_powers(ctx: &MontgomeryCtx, base: &MontElem) -> Vec<MontElem> {
+    let mut powers = Vec::with_capacity((1 << WINDOW) - 1);
+    powers.push(base.clone());
+    for d in 1..(1 << WINDOW) - 1 {
+        let next = ctx.mul(&powers[d - 1], base);
+        powers.push(next);
+    }
+    powers
+}
+
+/// Extract the `w`-th [`WINDOW`]-bit digit of `exp` (digit 0 is the least
+/// significant).
+fn digit(exp: &Uint, w: usize) -> usize {
+    let mut d = 0usize;
+    for bit in (0..WINDOW).rev() {
+        d = (d << 1) | usize::from(exp.bit(w * WINDOW + bit));
+    }
+    d
+}
+
+/// `a^ae · b^be` in Montgomery form via Straus interleaving, with
+/// caller-supplied digit tables (each exactly the [`window_powers`] of its
+/// base).
+///
+/// One shared squaring chain covers both exponents; each window costs
+/// [`WINDOW`] squarings plus at most one multiplication per base with a
+/// non-zero digit. Zero exponents contribute nothing (both zero yields
+/// the Montgomery one).
+pub fn joint_pow_with_powers(
+    ctx: &MontgomeryCtx,
+    a_powers: &[MontElem],
+    ae: &Uint,
+    b_powers: &[MontElem],
+    be: &Uint,
+) -> MontElem {
+    debug_assert_eq!(a_powers.len(), (1 << WINDOW) - 1);
+    debug_assert_eq!(b_powers.len(), (1 << WINDOW) - 1);
+    let bits = ae.bit_len().max(be.bit_len());
+    if bits == 0 {
+        return ctx.one();
+    }
+    let windows = bits.div_ceil(WINDOW);
+    let mut result: Option<MontElem> = None;
+    for w in (0..windows).rev() {
+        if let Some(r) = result.as_mut() {
+            for _ in 0..WINDOW {
+                *r = ctx.square(r);
+            }
+        }
+        for (powers, exp) in [(a_powers, ae), (b_powers, be)] {
+            let d = digit(exp, w);
+            if d != 0 {
+                result = Some(match result {
+                    Some(r) => ctx.mul(&r, &powers[d - 1]),
+                    None => powers[d - 1].clone(),
+                });
+            }
+        }
+    }
+    result.unwrap_or_else(|| ctx.one())
+}
+
+/// `a^ae · b^be` in Montgomery form (tables built internally).
+pub fn joint_pow_mont(
+    ctx: &MontgomeryCtx,
+    a: &MontElem,
+    ae: &Uint,
+    b: &MontElem,
+    be: &Uint,
+) -> MontElem {
+    joint_pow_with_powers(
+        ctx,
+        &window_powers(ctx, a),
+        ae,
+        &window_powers(ctx, b),
+        be,
+    )
+}
+
+/// `a^ae · b^be mod n` with inputs and output in normal form (convenience
+/// wrapper for tests and callers outside a Montgomery pipeline).
+pub fn joint_modpow(ctx: &MontgomeryCtx, a: &Uint, ae: &Uint, b: &Uint, be: &Uint) -> Uint {
+    let am = ctx.to_montgomery(a);
+    let bm = ctx.to_montgomery(b);
+    ctx.from_montgomery(&joint_pow_mont(ctx, &am, ae, &bm, be))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(hex: &str) -> Uint {
+        Uint::from_hex(hex).unwrap()
+    }
+
+    fn reference(ctx: &MontgomeryCtx, a: &Uint, ae: &Uint, b: &Uint, be: &Uint) -> Uint {
+        ctx.modpow(a, ae).mul_mod(&ctx.modpow(b, be), ctx.modulus())
+    }
+
+    #[test]
+    fn joint_matches_separate_pows() {
+        let n = u("edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let a = Uint::from_u64(4);
+        let b = u("ab3d485627ba6272e0f9c0a9ae435e247c91df81a1743c12a89eeaf8ef52878a");
+        for (ae, be) in [
+            (Uint::from_u64(3), Uint::from_u64(5)),
+            (u("1eadbeef1eadbeef1eadbeef1eadbeef"), Uint::from_u64(2)),
+            (
+                u("76dc914f4efb9e5a7a520b7d802fbed74e657415695d35ac73f0e23f5e2cb784"),
+                u("1234567890abcdef1234567890abcdef1234567890abcdef"),
+            ),
+        ] {
+            assert_eq!(
+                joint_modpow(&ctx, &a, &ae, &b, &be),
+                reference(&ctx, &a, &ae, &b, &be),
+                "ae={ae:?} be={be:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_exponent_edges() {
+        let n = u("76dc914f4efb9e5a7a520b7d802fbed74e657415695d35ac73f0e23f5e2cb785");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let a = Uint::from_u64(7);
+        let b = Uint::from_u64(11);
+        let e = u("deadbeefcafef00d");
+        // Both zero: empty product is 1.
+        assert_eq!(
+            joint_modpow(&ctx, &a, &Uint::zero(), &b, &Uint::zero()),
+            Uint::one()
+        );
+        // One zero: degenerates to a single pow.
+        assert_eq!(joint_modpow(&ctx, &a, &e, &b, &Uint::zero()), ctx.modpow(&a, &e));
+        assert_eq!(joint_modpow(&ctx, &a, &Uint::zero(), &b, &e), ctx.modpow(&b, &e));
+    }
+
+    #[test]
+    fn mismatched_exponent_widths() {
+        // One wide, one narrow exponent: the shared chain is driven by the
+        // wider one and the narrow digits are all-zero at the top.
+        let n = u("edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let a = Uint::from_u64(2);
+        let b = Uint::from_u64(3);
+        let wide = u("76dc914f4efb9e5a7a520b7d802fbed74e657415695d35ac73f0e23f5e2cb784");
+        let narrow = Uint::from_u64(5);
+        assert_eq!(
+            joint_modpow(&ctx, &a, &wide, &b, &narrow),
+            reference(&ctx, &a, &wide, &b, &narrow)
+        );
+        assert_eq!(
+            joint_modpow(&ctx, &a, &narrow, &b, &wide),
+            reference(&ctx, &a, &narrow, &b, &wide)
+        );
+    }
+
+    #[test]
+    fn shared_powers_reuse_matches() {
+        let n = u("edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let a = ctx.to_montgomery(&Uint::from_u64(4));
+        let b = ctx.to_montgomery(&u("1eadbeef1eadbeef1eadbeef1eadbeef1eadbeef"));
+        let ae = u("deadbeefcafef00d1234");
+        let be = u("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        let a_powers = window_powers(&ctx, &a);
+        let b_powers = window_powers(&ctx, &b);
+        assert_eq!(
+            joint_pow_with_powers(&ctx, &a_powers, &ae, &b_powers, &be),
+            joint_pow_mont(&ctx, &a, &ae, &b, &be)
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based equivalence: Straus joint exponentiation vs the product
+//! of two independent `modpow` results.
+//!
+//! The joint path must be bit-identical to `a^x · b^y mod n` computed the
+//! slow way, across random multi-limb operands, mismatched exponent
+//! widths, zero exponents, `R`-boundary bases (operands at the Montgomery
+//! radix `R = 2^(64k)`), and generalized fixed-base tables built from
+//! arbitrary Montgomery residues.
+
+use ccc_bignum::{
+    joint_modpow, joint_pow_mont, joint_pow_with_powers, modpow_naive, window_powers,
+    FixedBaseTable, MontgomeryCtx, Uint,
+};
+use proptest::prelude::*;
+
+fn uint(bytes: &[u8]) -> Uint {
+    Uint::from_bytes_be(bytes)
+}
+
+/// Force a byte-vector modulus odd and > 1.
+fn odd_modulus(bytes: &[u8]) -> Uint {
+    let mut m = bytes.to_vec();
+    if m.is_empty() {
+        m.push(3);
+    }
+    *m.last_mut().expect("m is non-empty") |= 1; // odd
+    let m = uint(&m);
+    if m <= Uint::one() {
+        Uint::from_u64(3)
+    } else {
+        m
+    }
+}
+
+/// The reference: two independent naive exponentiations, multiplied.
+fn reference(a: &Uint, ae: &Uint, b: &Uint, be: &Uint, n: &Uint) -> Uint {
+    modpow_naive(a, ae, n)
+        .expect("n > 0")
+        .mul_mod(&modpow_naive(b, be, n).expect("n > 0"), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn joint_equals_product_of_pows(
+        a in proptest::collection::vec(any::<u8>(), 0..48),
+        b in proptest::collection::vec(any::<u8>(), 0..48),
+        ae in proptest::collection::vec(any::<u8>(), 0..24),
+        be in proptest::collection::vec(any::<u8>(), 0..24),
+        modulus in proptest::collection::vec(any::<u8>(), 1..48),
+    ) {
+        let modulus = odd_modulus(&modulus);
+        let (a, b) = (uint(&a), uint(&b));
+        let (ae, be) = (uint(&ae), uint(&be));
+        let ctx = MontgomeryCtx::new(&modulus).expect("odd modulus > 1");
+        prop_assert_eq!(
+            joint_modpow(&ctx, &a, &ae, &b, &be),
+            reference(&a, &ae, &b, &be, &modulus)
+        );
+    }
+
+    #[test]
+    fn zero_exponents_degenerate_cleanly(
+        a in proptest::collection::vec(any::<u8>(), 1..32),
+        b in proptest::collection::vec(any::<u8>(), 1..32),
+        e in proptest::collection::vec(any::<u8>(), 0..16),
+        modulus in proptest::collection::vec(any::<u8>(), 2..32),
+    ) {
+        let modulus = odd_modulus(&modulus);
+        let (a, b, e) = (uint(&a), uint(&b), uint(&e));
+        let ctx = MontgomeryCtx::new(&modulus).unwrap();
+        // Both zero → 1 mod n.
+        prop_assert_eq!(
+            joint_modpow(&ctx, &a, &Uint::zero(), &b, &Uint::zero()),
+            Uint::one().rem(&modulus).unwrap()
+        );
+        // One zero → a plain single-base pow.
+        prop_assert_eq!(
+            joint_modpow(&ctx, &a, &e, &b, &Uint::zero()),
+            ctx.modpow(&a, &e)
+        );
+        prop_assert_eq!(
+            joint_modpow(&ctx, &a, &Uint::zero(), &b, &e),
+            ctx.modpow(&b, &e)
+        );
+    }
+
+    #[test]
+    fn precomputed_powers_and_fixed_base_rows_interchange(
+        a in proptest::collection::vec(any::<u8>(), 1..32),
+        b in proptest::collection::vec(any::<u8>(), 1..32),
+        ae in proptest::collection::vec(any::<u8>(), 0..20),
+        be in proptest::collection::vec(any::<u8>(), 0..20),
+        modulus in proptest::collection::vec(any::<u8>(), 5..32),
+    ) {
+        let modulus = odd_modulus(&modulus);
+        let (a, b) = (uint(&a), uint(&b));
+        let (ae, be) = (uint(&ae), uint(&be));
+        let ctx = MontgomeryCtx::new(&modulus).unwrap();
+        let am = ctx.to_montgomery(&a);
+        let bm = ctx.to_montgomery(&b);
+        // A fixed-base table's first row is a valid Straus digit table.
+        let a_table = FixedBaseTable::from_mont(&ctx, &am, 160);
+        let joint = joint_pow_with_powers(
+            &ctx,
+            a_table.first_row(),
+            &ae,
+            &window_powers(&ctx, &bm),
+            &be,
+        );
+        prop_assert_eq!(joint.clone(), joint_pow_mont(&ctx, &am, &ae, &bm, &be));
+        prop_assert_eq!(
+            ctx.from_montgomery(&joint),
+            reference(&a, &ae, &b, &be, &modulus)
+        );
+    }
+
+    #[test]
+    fn generalized_fixed_base_table_equals_pow_mont(
+        base in proptest::collection::vec(any::<u8>(), 1..32),
+        exp in proptest::collection::vec(any::<u8>(), 0..20),
+        modulus in proptest::collection::vec(any::<u8>(), 2..32),
+    ) {
+        // FixedBaseTable::from_mont over an arbitrary residue (not a group
+        // generator) must agree with generic windowed exponentiation,
+        // including the beyond-table-width fallback.
+        let modulus = odd_modulus(&modulus);
+        let (base, exp) = (uint(&base), uint(&exp));
+        let ctx = MontgomeryCtx::new(&modulus).unwrap();
+        let bm = ctx.to_montgomery(&base);
+        let table = FixedBaseTable::from_mont(&ctx, &bm, 96);
+        prop_assert_eq!(
+            ctx.from_montgomery(&table.pow_mont(&ctx, &exp)),
+            ctx.modpow(&base, &exp)
+        );
+    }
+}
+
+#[test]
+fn r_boundary_bases() {
+    // Bases at the Montgomery radix: R ≡ the Montgomery one, R ± 1
+    // straddle the conditional-subtraction path.
+    for modulus in [
+        Uint::from_u64(0xffff_fff1),
+        Uint::from_hex("ffffffffffffffffffffffef").unwrap(), // 2^96 - 17
+        Uint::from_hex("edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b")
+            .unwrap(),
+    ] {
+        let ctx = MontgomeryCtx::new(&modulus).unwrap();
+        let r = Uint::one().shl(64 * ctx.limbs());
+        let bases = [
+            r.checked_sub(&Uint::one()).unwrap(),
+            r.clone(),
+            r.add(&Uint::one()),
+            modulus.checked_sub(&Uint::one()).unwrap(),
+        ];
+        for a in &bases {
+            for b in &bases {
+                for (ae, be) in [
+                    (Uint::from_u64(2), Uint::from_u64(65537)),
+                    (Uint::from_u64(0xdead_beef), Uint::one()),
+                ] {
+                    assert_eq!(
+                        joint_modpow(&ctx, a, &ae, b, &be),
+                        modpow_naive(a, &ae, &modulus)
+                            .unwrap()
+                            .mul_mod(&modpow_naive(b, &be, &modulus).unwrap(), &modulus),
+                        "modulus={modulus:?} a={a:?} b={b:?} ae={ae:?} be={be:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn schnorr_shaped_verification_product() {
+    // The exact shape PublicKey::verify computes: g^s · y^(q-e) over the
+    // 256-bit simulation group prime, exponents just below q.
+    let p = Uint::from_hex("edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b")
+        .unwrap();
+    let q = Uint::from_hex("76dc914f4efb9e5a7a520b7d802fbed74e657415695d35ac73f0e23f5e2cb785")
+        .unwrap();
+    let ctx = MontgomeryCtx::new(&p).unwrap();
+    let g = Uint::from_u64(4);
+    let y = Uint::from_hex("ab3d485627ba6272e0f9c0a9ae435e247c91df81a1743c12a89eeaf8ef52878a")
+        .unwrap();
+    let s = q.checked_sub(&Uint::from_u64(12345)).unwrap();
+    let neg_e = q.checked_sub(&Uint::from_u64(0xcafe_f00d)).unwrap();
+    assert_eq!(
+        joint_modpow(&ctx, &g, &s, &y, &neg_e),
+        modpow_naive(&g, &s, &p)
+            .unwrap()
+            .mul_mod(&modpow_naive(&y, &neg_e, &p).unwrap(), &p)
+    );
+}

@@ -6,6 +6,7 @@
 //! issuer to subject. All paths are enumerated starting from the leaf
 //! (`C0`) and walking issuer-ward.
 
+use ccc_crypto::{verify_route_stats, VerifyRouteStats};
 use ccc_x509::{Certificate, CertificateFingerprint, FingerprintBuildHasher, FingerprintMap};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +51,18 @@ pub struct CacheStats {
     /// thread instead of recomputing (the duplicate work the old
     /// double-lock design performed).
     pub coalesced_waits: u64,
+    /// Signature checks routed through a per-key fixed-base table (the
+    /// amortized hot path). Counted process-wide since this checker was
+    /// created; includes `verify` calls made outside the cache (e.g.
+    /// self-signed short-circuits), so it is not bounded by
+    /// `verifications`.
+    pub fixed_base_hits: u64,
+    /// Signature checks routed through Straus joint multi-exponentiation
+    /// (the cold path for keys below the promotion threshold).
+    pub cold_multiexps: u64,
+    /// Per-key fixed-base tables built (once per promoted key per
+    /// process).
+    pub tables_built: u64,
     /// Memoized pairs currently resident.
     pub entries: usize,
 }
@@ -78,6 +91,9 @@ impl CacheStats {
             misses: self.misses.saturating_sub(earlier.misses),
             verifications: self.verifications.saturating_sub(earlier.verifications),
             coalesced_waits: self.coalesced_waits.saturating_sub(earlier.coalesced_waits),
+            fixed_base_hits: self.fixed_base_hits.saturating_sub(earlier.fixed_base_hits),
+            cold_multiexps: self.cold_multiexps.saturating_sub(earlier.cold_multiexps),
+            tables_built: self.tables_built.saturating_sub(earlier.tables_built),
             entries: self.entries,
         }
     }
@@ -115,6 +131,11 @@ pub struct IssuanceChecker {
     hits: AtomicU64,
     verifications: AtomicU64,
     coalesced_waits: AtomicU64,
+    /// Process-wide verify-route counters at construction time, so the
+    /// route fields this checker reports cover only activity during its
+    /// lifetime (the underlying counters are global to the process, like
+    /// `keypair_derivations`).
+    route_baseline: VerifyRouteStats,
 }
 
 impl Default for IssuanceChecker {
@@ -141,6 +162,7 @@ impl IssuanceChecker {
             hits: AtomicU64::new(0),
             verifications: AtomicU64::new(0),
             coalesced_waits: AtomicU64::new(0),
+            route_baseline: verify_route_stats(),
         }
     }
 
@@ -239,12 +261,16 @@ impl IssuanceChecker {
     pub(crate) fn counters(&self) -> CacheStats {
         let lookups = self.lookups.load(Ordering::Relaxed);
         let hits = self.hits.load(Ordering::Relaxed);
+        let routes = verify_route_stats().since(&self.route_baseline);
         CacheStats {
             lookups,
             hits,
             misses: lookups.saturating_sub(hits),
             verifications: self.verifications.load(Ordering::Relaxed),
             coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
+            fixed_base_hits: routes.fixed_base_hits,
+            cold_multiexps: routes.cold_multiexps,
+            tables_built: routes.tables_built,
             entries: 0,
         }
     }

@@ -1,0 +1,397 @@
+//! Process-wide interned issuer keys and verify-route accounting.
+//!
+//! A Web PKI corpus has *few* CA keys signing *many* certificates, so the
+//! issuer side of Schnorr verification (`y^(q-e)`) is the same handful of
+//! bases exponentiated over and over — the exact skew fixed-base windowing
+//! exploits. This module turns that observation into shared state:
+//!
+//! - [`KeyRegistry`]: a fingerprint-keyed, lock-striped intern table
+//!   (mirroring the `IssuanceChecker` shard pattern) mapping
+//!   `(group, y)` to one [`InternedKey`] per process. Every parsed
+//!   certificate carrying the same CA key shares one entry, so the
+//!   Montgomery residue of `y` — and, once promoted, its Brauer
+//!   fixed-base table — is computed once per process instead of once per
+//!   `PublicKey` clone.
+//! - [`InternedKey`]: the shared per-key state — the Montgomery residue,
+//!   a verification counter driving table promotion, the lazily-built
+//!   [`FixedBaseTable`], and the cached subgroup-membership verdict.
+//! - [`VerifyRouteStats`]: process-global counters for the hot
+//!   (fixed-base) and cold (Straus multi-exponentiation) verify routes,
+//!   surfaced through `CacheStats` in `ccc-core` and every stats
+//!   renderer downstream.
+//!
+//! Promotion policy: the hot route needs a per-key table
+//! (`⌈q_bits/4⌉ · 15` residues ≈ 30 KiB at 256 bits, ≈ 1.1 MiB at 1536
+//! bits), so it is only built for keys observed verifying more than
+//! [`PROMOTION_THRESHOLD`] times ([`TablePolicy::Auto`]); the
+//! `CCC_VERIFY_TABLES` env var (`always` | `never` | `auto`) forces the
+//! choice for determinism experiments. The route never changes a verdict
+//! — both routes compute the same `g^s · y^(q-e)` residue exactly — and
+//! the route *split* is itself thread-invariant: the counter is a
+//! per-key `fetch_add`, so exactly `min(threshold, V)` of a key's `V`
+//! verifications go cold no matter how threads interleave.
+
+use crate::schnorr::{Group, GroupId};
+use crate::sha256::Sha256;
+use ccc_bignum::{FixedBaseTable, MontElem, MontgomeryCtx};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Auto-policy promotion threshold: a key's first `PROMOTION_THRESHOLD`
+/// verifications take the cold route; from the next one on, the per-key
+/// fixed-base table is built and every later verification under that key
+/// is two table lookups and a multiplication.
+pub const PROMOTION_THRESHOLD: u64 = 3;
+
+/// When to build per-key fixed-base tables for the verify hot path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TablePolicy {
+    /// Promote a key after [`PROMOTION_THRESHOLD`] verifications (the
+    /// default).
+    Auto,
+    /// Build the table on a key's first verification (all-hot).
+    Always,
+    /// Never build tables (all-cold; every verification is a Straus
+    /// joint exponentiation).
+    Never,
+}
+
+const POLICY_AUTO: u8 = 0;
+const POLICY_ALWAYS: u8 = 1;
+const POLICY_NEVER: u8 = 2;
+const POLICY_UNSET: u8 = 3;
+
+/// Current policy, lazily initialized from `CCC_VERIFY_TABLES`.
+static POLICY: AtomicU8 = AtomicU8::new(POLICY_UNSET);
+
+/// The active table policy: the last [`set_verify_table_policy`] value,
+/// else `CCC_VERIFY_TABLES` (`always` | `never` | anything-else = auto),
+/// else [`TablePolicy::Auto`].
+pub fn verify_table_policy() -> TablePolicy {
+    let raw = match POLICY.load(Ordering::Relaxed) {
+        POLICY_UNSET => {
+            let parsed = match std::env::var("CCC_VERIFY_TABLES").as_deref() {
+                Ok("always") => POLICY_ALWAYS,
+                Ok("never") => POLICY_NEVER,
+                _ => POLICY_AUTO,
+            };
+            // A concurrent set_verify_table_policy wins over the env read.
+            let _ = POLICY.compare_exchange(
+                POLICY_UNSET,
+                parsed,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            POLICY.load(Ordering::Relaxed)
+        }
+        raw => raw,
+    };
+    match raw {
+        POLICY_ALWAYS => TablePolicy::Always,
+        POLICY_NEVER => TablePolicy::Never,
+        _ => TablePolicy::Auto,
+    }
+}
+
+/// Override the table policy for this process (benches and in-process
+/// A/B comparisons; normal callers configure `CCC_VERIFY_TABLES`).
+pub fn set_verify_table_policy(policy: TablePolicy) {
+    let raw = match policy {
+        TablePolicy::Auto => POLICY_AUTO,
+        TablePolicy::Always => POLICY_ALWAYS,
+        TablePolicy::Never => POLICY_NEVER,
+    };
+    POLICY.store(raw, Ordering::Relaxed);
+}
+
+static FIXED_BASE_HITS: AtomicU64 = AtomicU64::new(0);
+static COLD_MULTIEXPS: AtomicU64 = AtomicU64::new(0);
+static TABLES_BUILT: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide verify-route counters (monotonic; meaningful as deltas
+/// around a workload, like `keypair_derivations`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyRouteStats {
+    /// Verifications that took the hot route (per-key fixed-base table).
+    pub fixed_base_hits: u64,
+    /// Verifications that took the cold route (Straus joint multi-exp).
+    pub cold_multiexps: u64,
+    /// Per-key fixed-base tables built (≤ interned keys; each at most
+    /// once per process).
+    pub tables_built: u64,
+}
+
+impl VerifyRouteStats {
+    /// Counter delta (`self` at a later time minus `earlier`).
+    pub fn since(&self, earlier: &VerifyRouteStats) -> VerifyRouteStats {
+        VerifyRouteStats {
+            fixed_base_hits: self.fixed_base_hits.saturating_sub(earlier.fixed_base_hits),
+            cold_multiexps: self.cold_multiexps.saturating_sub(earlier.cold_multiexps),
+            tables_built: self.tables_built.saturating_sub(earlier.tables_built),
+        }
+    }
+}
+
+/// Snapshot of the process-wide verify-route counters.
+pub fn verify_route_stats() -> VerifyRouteStats {
+    VerifyRouteStats {
+        fixed_base_hits: FIXED_BASE_HITS.load(Ordering::Relaxed),
+        cold_multiexps: COLD_MULTIEXPS.load(Ordering::Relaxed),
+        tables_built: TABLES_BUILT.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn note_fixed_base_hit() {
+    FIXED_BASE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_cold_multiexp() {
+    COLD_MULTIEXPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Shared per-`(group, y)` verification state, interned once per process.
+#[derive(Debug)]
+pub struct InternedKey {
+    group: GroupId,
+    /// Montgomery residue of `y` under the group's context.
+    y_mont: MontElem,
+    /// Verifications observed under this key (drives Auto promotion).
+    verifies: AtomicU64,
+    /// Brauer fixed-base table for `y`, built at most once (hot route).
+    table: OnceLock<FixedBaseTable>,
+    /// Cached order-`q` subgroup membership verdict (`y^q == 1 mod p`).
+    subgroup_member: OnceLock<bool>,
+}
+
+impl InternedKey {
+    /// The group this key was interned under.
+    pub fn group_id(&self) -> GroupId {
+        self.group
+    }
+
+    /// The shared Montgomery residue of `y`.
+    pub fn y_mont(&self) -> &MontElem {
+        &self.y_mont
+    }
+
+    /// Record one verification under this key; returns the 1-based
+    /// sequence number (unique per call, so the cold/hot split is
+    /// interleaving-independent).
+    pub fn record_verify(&self) -> u64 {
+        self.verifies.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Verifications recorded so far.
+    pub fn verify_count(&self) -> u64 {
+        self.verifies.load(Ordering::Relaxed)
+    }
+
+    /// Whether the hot-route table has been built.
+    pub fn has_table(&self) -> bool {
+        self.table.get().is_some()
+    }
+
+    /// The per-key fixed-base table, built on first use (counted in
+    /// [`VerifyRouteStats::tables_built`]; concurrent callers coalesce on
+    /// the `OnceLock`, so it is built at most once per process).
+    pub fn table(&self, ctx: &MontgomeryCtx, max_exp_bits: usize) -> &FixedBaseTable {
+        self.table.get_or_init(|| {
+            TABLES_BUILT.fetch_add(1, Ordering::Relaxed);
+            FixedBaseTable::from_mont(ctx, &self.y_mont, max_exp_bits)
+        })
+    }
+
+    /// Lazily-checked membership in the order-`q` subgroup: `y^q ≡ 1
+    /// (mod p)`. Cached per interned key, so corpus passes pay one extra
+    /// exponentiation per *unique* CA key, not per certificate. Uses the
+    /// promoted table when one exists.
+    pub fn is_subgroup_member(&self) -> bool {
+        *self.subgroup_member.get_or_init(|| {
+            let group = Group::by_id(self.group);
+            let ops = group.ops();
+            let yq = match self.table.get() {
+                Some(table) => table.pow_mont(&ops.ctx, &group.q),
+                None => ops.ctx.pow_mont(&self.y_mont, &group.q),
+            };
+            yq == ops.ctx.one()
+        })
+    }
+}
+
+/// Shard count for the intern table (power of two; key counts are small —
+/// a corpus has tens of CA keys — so this is about uncontended interning
+/// from parallel workers, not capacity).
+const REGISTRY_SHARDS: usize = 16;
+
+/// One lock stripe of the registry.
+type RegistryShard = Mutex<HashMap<[u8; 32], Arc<InternedKey>>>;
+
+/// Fingerprint-keyed, lock-striped intern table for issuer keys.
+///
+/// Keys are `SHA-256(group tag ‖ y bytes)`, sharded by fingerprint bits
+/// exactly like the `IssuanceChecker` signature cache. The registry is a
+/// process-global singleton ([`KeyRegistry::global`]): interning is how
+/// distinct `PublicKey`/`Certificate` instances carrying the same CA key
+/// converge on one Montgomery residue and one fixed-base table across
+/// every pass, thread, and analysis engine.
+#[derive(Debug)]
+pub struct KeyRegistry {
+    shards: Vec<RegistryShard>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+}
+
+impl Default for KeyRegistry {
+    fn default() -> KeyRegistry {
+        KeyRegistry::new()
+    }
+}
+
+impl KeyRegistry {
+    /// A fresh, empty registry (tests; production code shares
+    /// [`global`](Self::global)).
+    pub fn new() -> KeyRegistry {
+        KeyRegistry {
+            shards: (0..REGISTRY_SHARDS).map(|_| Mutex::default()).collect(),
+            mask: (REGISTRY_SHARDS - 1) as u64,
+        }
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static KeyRegistry {
+        static REGISTRY: OnceLock<KeyRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(KeyRegistry::new)
+    }
+
+    /// Intern `(group, y_bytes)`: return the shared entry, creating it —
+    /// Montgomery residue included — on first sight of this key.
+    ///
+    /// `y_bytes` must be the fixed-width big-endian serialization of a
+    /// `y` already validated to lie in `[2, p)` (the `PublicKey`
+    /// constructors guarantee this).
+    pub fn intern(&self, group: &Group, y_bytes: &[u8]) -> Arc<InternedKey> {
+        let fp = fingerprint(group.id, y_bytes);
+        let idx = u64::from_le_bytes(fp[..8].try_into().expect("32-byte fingerprint")) & self.mask;
+        let mut map = self.shards[idx as usize]
+            .lock()
+            .expect("registry shard poisoned");
+        // The residue conversion is two Montgomery multiplications —
+        // cheap enough to run under the shard lock, which keeps the
+        // entry unique without an in-flight coalescing slot.
+        Arc::clone(map.entry(fp).or_insert_with(|| {
+            let ops = group.ops();
+            Arc::new(InternedKey {
+                group: group.id,
+                y_mont: ops
+                    .ctx
+                    .to_montgomery(&ccc_bignum::Uint::from_bytes_be(y_bytes)),
+                verifies: AtomicU64::new(0),
+                table: OnceLock::new(),
+                subgroup_member: OnceLock::new(),
+            })
+        }))
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("registry shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// `SHA-256(group tag ‖ y bytes)` — the intern key.
+fn fingerprint(group: GroupId, y_bytes: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(&[match group {
+        GroupId::Sim256 => 1,
+        GroupId::Rfc3526_1536 => 2,
+    }]);
+    h.update(y_bytes);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::KeyPair;
+
+    #[test]
+    fn interning_is_idempotent_and_shared() {
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, b"intern-key-a");
+        let registry = KeyRegistry::new();
+        let a = registry.intern(group, kp.public.as_bytes());
+        let b = registry.intern(group, kp.public.as_bytes());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.len(), 1);
+        let other = KeyPair::from_seed(group, b"intern-key-b");
+        let c = registry.intern(group, other.public.as_bytes());
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn same_bytes_different_groups_do_not_collide() {
+        // A 32-byte value valid in the small group is too short for the
+        // 1536-bit group, so collide at the fingerprint level instead:
+        // the group tag must separate the hash inputs.
+        let a = fingerprint(GroupId::Sim256, &[7u8; 32]);
+        let b = fingerprint(GroupId::Rfc3526_1536, &[7u8; 32]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn verify_counter_is_per_key() {
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, b"intern-count");
+        let registry = KeyRegistry::new();
+        let entry = registry.intern(group, kp.public.as_bytes());
+        assert_eq!(entry.verify_count(), 0);
+        assert_eq!(entry.record_verify(), 1);
+        assert_eq!(entry.record_verify(), 2);
+        assert_eq!(entry.verify_count(), 2);
+        // A re-intern sees the same counter.
+        let again = registry.intern(group, kp.public.as_bytes());
+        assert_eq!(again.verify_count(), 2);
+    }
+
+    #[test]
+    fn table_builds_once_and_counts() {
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, b"intern-table");
+        let registry = KeyRegistry::new();
+        let entry = registry.intern(group, kp.public.as_bytes());
+        assert!(!entry.has_table());
+        let before = verify_route_stats();
+        let ops = group.ops();
+        let t1 = entry.table(&ops.ctx, group.q.bit_len()) as *const FixedBaseTable;
+        let t2 = entry.table(&ops.ctx, group.q.bit_len()) as *const FixedBaseTable;
+        assert_eq!(t1, t2);
+        assert!(entry.has_table());
+        // Other unit tests may build tables concurrently (the counter is
+        // process-global), so assert at-least; the exact once-per-key
+        // accounting is pinned in tests/promotion_policy.rs.
+        let delta = verify_route_stats().since(&before);
+        assert!(delta.tables_built >= 1);
+    }
+
+    #[test]
+    fn policy_roundtrip() {
+        // Exercise the setter without disturbing other tests' routes more
+        // than transiently: end on the parsed-env/default state.
+        set_verify_table_policy(TablePolicy::Never);
+        assert_eq!(verify_table_policy(), TablePolicy::Never);
+        set_verify_table_policy(TablePolicy::Always);
+        assert_eq!(verify_table_policy(), TablePolicy::Always);
+        set_verify_table_policy(TablePolicy::Auto);
+        assert_eq!(verify_table_policy(), TablePolicy::Auto);
+    }
+}

@@ -15,14 +15,19 @@
 
 pub mod drbg;
 pub mod hmac;
+pub mod intern;
 pub mod schnorr;
 pub mod sha1;
 pub mod sha256;
 
 pub use drbg::Drbg;
 pub use hmac::hmac_sha256;
+pub use intern::{
+    set_verify_table_policy, verify_route_stats, verify_table_policy, InternedKey, KeyRegistry,
+    TablePolicy, VerifyRouteStats, PROMOTION_THRESHOLD,
+};
 pub use schnorr::{
-    keypair_derivations, Group, GroupOps, KeyPair, PrivateKey, PublicKey, Signature,
+    keypair_derivations, Group, GroupOps, KeyPair, PrivateKey, PublicKey, Signature, VerifyRoute,
 };
 pub use sha1::sha1;
 pub use sha256::sha256;

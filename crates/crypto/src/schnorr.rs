@@ -13,11 +13,16 @@
 
 use crate::drbg::Drbg;
 use crate::hmac::hmac_sha256;
+use crate::intern::{
+    self, verify_table_policy, InternedKey, KeyRegistry, TablePolicy, PROMOTION_THRESHOLD,
+};
 use crate::sha256::Sha256;
-use ccc_bignum::{FixedBaseTable, MontElem, MontgomeryCtx, Uint};
+use ccc_bignum::{
+    joint_pow_with_powers, window_powers, FixedBaseTable, MontElem, MontgomeryCtx, Uint,
+};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Global count of key-pair derivations (scalar sampling + `g^x`).
 ///
@@ -186,17 +191,37 @@ impl fmt::Debug for PrivateKey {
     }
 }
 
+/// Which implementation strategy one verification uses.
+///
+/// Both routes compute the identical `g^s · y^(q-e) mod p` residue — the
+/// choice is pure performance and never changes a verdict. [`PublicKey::
+/// verify`](PublicKey::verify) picks automatically (promotion threshold +
+/// [`TablePolicy`]); [`PublicKey::verify_via`] forces a route for benches
+/// and differential tests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VerifyRoute {
+    /// Hot path: the key's per-process Brauer table — two zero-squaring
+    /// fixed-base lookups (`g^s`, `y^(q-e)`) and one multiplication.
+    FixedBase,
+    /// Cold path: one Straus joint exponentiation sharing a single
+    /// squaring chain, reusing the generator's table row so only the
+    /// `y`-side digit table is built per call.
+    MultiExp,
+}
+
 /// A Schnorr public key, `y = g^x mod p`.
 #[derive(Clone)]
 pub struct PublicKey {
     group: GroupId,
     /// `y` serialized big-endian, padded to the group element length.
     y_bytes: Vec<u8>,
-    /// Montgomery-form `y`, computed on first verification and reused for
-    /// every later one (verification keys — CA keys — are verified against
-    /// many times per corpus pass). Excluded from `Eq`/`Hash`: it is a pure
-    /// cache of `y_bytes`.
-    y_mont: OnceLock<MontElem>,
+    /// Interned per-process entry for `(group, y)`, resolved on first
+    /// verification: the shared Montgomery residue, the promotion counter,
+    /// and (once hot) the fixed-base table — shared by *every* `PublicKey`
+    /// carrying these bytes, not just clones of this one (CA keys are
+    /// re-parsed from thousands of certificates per corpus pass). Excluded
+    /// from `Eq`/`Hash`: it is a pure cache of `y_bytes`.
+    interned: OnceLock<Arc<InternedKey>>,
 }
 
 impl PartialEq for PublicKey {
@@ -292,7 +317,7 @@ impl KeyPair {
             public: PublicKey {
                 group: group.id,
                 y_bytes,
-                y_mont: OnceLock::new(),
+                interned: OnceLock::new(),
             },
         }
     }
@@ -364,8 +389,13 @@ impl PublicKey {
     /// Reconstruct a key from serialized material.
     ///
     /// Returns `None` when the length is wrong or `y` is not in `[2, p)`
-    /// (1 and 0 are degenerate; membership in the order-q subgroup is not
-    /// checked here, matching how real validators treat SPKIs).
+    /// (1 and 0 are degenerate). Membership in the order-`q` subgroup is
+    /// deliberately *not* checked here, matching how real validators treat
+    /// SPKIs — parsing must stay cheap and permissive so malformed corpus
+    /// keys flow through the analyses. Callers that need the stronger
+    /// guarantee (trust-anchor loading, key provenance audits) ask via
+    /// [`PublicKey::is_subgroup_member`], which caches its one extra
+    /// exponentiation per unique key.
     pub fn from_bytes(group: &Group, bytes: &[u8]) -> Option<PublicKey> {
         if bytes.len() != group.element_len {
             return None;
@@ -377,12 +407,52 @@ impl PublicKey {
         Some(PublicKey {
             group: group.id,
             y_bytes: bytes.to_vec(),
-            y_mont: OnceLock::new(),
+            interned: OnceLock::new(),
         })
     }
 
+    /// The process-wide interned entry for this key: shared Montgomery
+    /// residue, promotion counter, fixed-base table, subgroup verdict.
+    fn interned(&self) -> &Arc<InternedKey> {
+        self.interned
+            .get_or_init(|| KeyRegistry::global().intern(self.group(), &self.y_bytes))
+    }
+
+    /// Whether `y` lies in the order-`q` subgroup (`y^q ≡ 1 mod p`).
+    ///
+    /// This is the check [`PublicKey::from_bytes`] skips. The verdict is
+    /// computed lazily with one exponentiation (via the promoted table
+    /// when one exists) and cached on the interned entry, so sweeping a
+    /// corpus costs one check per unique CA key, not per certificate.
+    pub fn is_subgroup_member(&self) -> bool {
+        self.interned().is_subgroup_member()
+    }
+
     /// Verify `signature` over `message`.
+    ///
+    /// Routing: each verification is recorded on the key's interned entry,
+    /// and under [`TablePolicy::Auto`] the key is promoted to the
+    /// [`VerifyRoute::FixedBase`] hot path once it has been verified
+    /// against more than [`PROMOTION_THRESHOLD`] times — amortizing the
+    /// per-key table build across the many verifications a CA key sees.
+    /// Colder keys take the [`VerifyRoute::MultiExp`] Straus path, which
+    /// needs no per-key precomputation. `CCC_VERIFY_TABLES=always|never`
+    /// forces one route for every key. Verdicts are identical either way.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let n = self.interned().record_verify();
+        let route = match verify_table_policy() {
+            TablePolicy::Always => VerifyRoute::FixedBase,
+            TablePolicy::Never => VerifyRoute::MultiExp,
+            TablePolicy::Auto if n > PROMOTION_THRESHOLD => VerifyRoute::FixedBase,
+            TablePolicy::Auto => VerifyRoute::MultiExp,
+        };
+        self.verify_via(route, message, signature)
+    }
+
+    /// Verify `signature` over `message` on an explicitly chosen route,
+    /// bypassing promotion accounting (benches and differential tests;
+    /// normal callers use [`PublicKey::verify`]).
+    pub fn verify_via(&self, route: VerifyRoute, message: &[u8], signature: &Signature) -> bool {
         let group = self.group();
         if signature.s.len() != group.scalar_len {
             return false;
@@ -395,17 +465,37 @@ impl PublicKey {
             .rem(&group.q)
             .expect("q is non-zero");
         // r' = g^s * y^(q - e) mod p   (y has order q, so y^-e = y^(q-e)).
-        // All three operations stay in Montgomery form: g^s via the fixed-
-        // base tables, y^(q-e) from the cached Montgomery residue of y, and
-        // the final product converts back exactly once.
+        // Everything stays in Montgomery form until the single final
+        // conversion, on either route.
         let neg_e = group.q.checked_sub(&e_scalar).expect("e_scalar < q");
         let ops = group.ops();
-        let gs = group.pow_g_mont(&s);
-        let y_m = self
-            .y_mont
-            .get_or_init(|| ops.ctx.to_montgomery(&Uint::from_bytes_be(&self.y_bytes)));
-        let ye = ops.ctx.pow_mont(y_m, &neg_e);
-        let r = ops.ctx.from_montgomery(&ops.ctx.mul(&gs, &ye));
+        let entry = self.interned();
+        let r_mont = match route {
+            VerifyRoute::FixedBase => {
+                // Hot: both halves are zero-squaring table lookups — g via
+                // the group table, y via the key's interned table (built on
+                // first hot use, then shared process-wide).
+                let y_table = entry.table(&ops.ctx, group.q.bit_len());
+                intern::note_fixed_base_hit();
+                let gs = group.pow_g_mont(&s);
+                ops.ctx.mul(&gs, &y_table.pow_mont(&ops.ctx, &neg_e))
+            }
+            VerifyRoute::MultiExp => {
+                // Cold: one Straus joint exponentiation — a single shared
+                // squaring chain instead of two. The generator side reuses
+                // the group table's first row as its digit table, so the
+                // only per-call setup is y's 15-entry window.
+                intern::note_cold_multiexp();
+                joint_pow_with_powers(
+                    &ops.ctx,
+                    ops.g_table.first_row(),
+                    &s,
+                    &window_powers(&ops.ctx, entry.y_mont()),
+                    &neg_e,
+                )
+            }
+        };
+        let r = ops.ctx.from_montgomery(&r_mont);
         let r_bytes = match r.to_bytes_be_padded(group.element_len) {
             Some(b) => b,
             None => return false,
@@ -559,6 +649,59 @@ mod tests {
             s.finish()
         };
         assert_eq!(h(&kp.public), h(&fresh));
+    }
+
+    #[test]
+    fn verify_routes_agree_on_verdicts() {
+        for group in [Group::simulation_256(), Group::rfc3526_1536()] {
+            let kp = KeyPair::from_seed(group, b"route-key");
+            let sig = kp.private.sign(b"routed message");
+            assert!(kp.public.verify_via(VerifyRoute::MultiExp, b"routed message", &sig));
+            assert!(kp.public.verify_via(VerifyRoute::FixedBase, b"routed message", &sig));
+            assert!(!kp.public.verify_via(VerifyRoute::MultiExp, b"other", &sig));
+            assert!(!kp.public.verify_via(VerifyRoute::FixedBase, b"other", &sig));
+            let mut forged = sig.clone();
+            forged.e[7] ^= 0x40;
+            assert!(!kp.public.verify_via(VerifyRoute::MultiExp, b"routed message", &forged));
+            assert!(!kp.public.verify_via(VerifyRoute::FixedBase, b"routed message", &forged));
+        }
+    }
+
+    #[test]
+    fn auto_promotion_builds_table_after_threshold() {
+        // A fresh key (unique seed → unique interned entry in the global
+        // registry) starts cold and flips hot after PROMOTION_THRESHOLD
+        // verifications. Policy may be overridden concurrently by the
+        // policy_roundtrip test, so only the table side effect — which any
+        // policy except Never eventually triggers — is asserted loosely;
+        // the strict split is pinned in the verify_routes integration
+        // tests, which own the policy in their own process.
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, b"promotion-key-schnorr-unit");
+        let sig = kp.private.sign(b"promote me");
+        for _ in 0..(PROMOTION_THRESHOLD + 2) {
+            assert!(kp.public.verify(b"promote me", &sig));
+        }
+        // The interned counter saw every auto-routed verification.
+        let entry = KeyRegistry::global().intern(group, kp.public.as_bytes());
+        assert!(entry.verify_count() >= PROMOTION_THRESHOLD + 2);
+    }
+
+    #[test]
+    fn subgroup_membership_accepts_real_keys_and_rejects_order_two() {
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, b"subgroup-key");
+        assert!(kp.public.is_subgroup_member());
+        // y = p - 1 has order 2: it passes the permissive range check in
+        // from_bytes but is not a quadratic residue, so y^q = -1 ≠ 1.
+        let p_minus_1 = group
+            .p
+            .checked_sub(&Uint::one())
+            .unwrap()
+            .to_bytes_be_padded(group.element_len)
+            .unwrap();
+        let outsider = PublicKey::from_bytes(group, &p_minus_1).unwrap();
+        assert!(!outsider.is_subgroup_member());
     }
 
     #[test]

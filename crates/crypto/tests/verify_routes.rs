@@ -1,0 +1,141 @@
+//! Differential tests for the two verification routes.
+//!
+//! `PublicKey::verify` routes each check through either the hot per-key
+//! fixed-base path or the cold Straus multi-exponentiation path. The routes
+//! must be *verdict-identical* on every input — valid signatures, forged
+//! signatures, out-of-range scalars, truncated challenges — because the
+//! corpus analyses treat a verification failure as a compliance finding,
+//! and a route-dependent verdict would make results depend on cache
+//! temperature. Every test here pins routes explicitly via `verify_via`,
+//! so none depends on (or mutates) the global `TablePolicy`; the exact
+//! promotion split is pinned in `promotion_policy.rs`, which runs in its
+//! own process where the global route counters are quiescent.
+
+use ccc_crypto::{Group, KeyPair, Signature, VerifyRoute};
+use proptest::prelude::*;
+
+/// Both routes, for exhaustive pairing in assertions.
+const ROUTES: [VerifyRoute; 2] = [VerifyRoute::MultiExp, VerifyRoute::FixedBase];
+
+/// Assert every route returns the same verdict and return it.
+fn unanimous(kp: &KeyPair, message: &[u8], sig: &Signature) -> bool {
+    let cold = kp.public.verify_via(VerifyRoute::MultiExp, message, sig);
+    let hot = kp.public.verify_via(VerifyRoute::FixedBase, message, sig);
+    assert_eq!(cold, hot, "route verdicts diverged");
+    cold
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn valid_signatures_verify_on_both_routes(
+        seed in proptest::collection::vec(any::<u8>(), 1..24),
+        message in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, &seed);
+        let sig = kp.private.sign(&message);
+        prop_assert!(unanimous(&kp, &message, &sig));
+    }
+
+    #[test]
+    fn forged_signatures_reject_on_both_routes(
+        seed in proptest::collection::vec(any::<u8>(), 1..24),
+        message in proptest::collection::vec(any::<u8>(), 0..64),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+        in_e in any::<bool>(),
+    ) {
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, &seed);
+        let mut sig = kp.private.sign(&message);
+        if in_e {
+            sig.e[flip_byte % 32] ^= 1 << flip_bit;
+        } else {
+            let idx = flip_byte % sig.s.len();
+            sig.s[idx] ^= 1 << flip_bit;
+        }
+        // A bit flip may (astronomically unlikely) produce a different
+        // valid signature; what matters is route agreement, so assert
+        // unanimity and only then the expected rejection.
+        prop_assert!(!unanimous(&kp, &message, &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejects_on_both_routes(
+        seed_a in proptest::collection::vec(any::<u8>(), 1..24),
+        message in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let group = Group::simulation_256();
+        let signer = KeyPair::from_seed(group, &seed_a);
+        let mut other_seed = seed_a.clone();
+        other_seed.push(0x5a);
+        let other = KeyPair::from_seed(group, &other_seed);
+        let sig = signer.private.sign(&message);
+        prop_assert!(!unanimous(&other, &message, &sig));
+    }
+
+    #[test]
+    fn out_of_range_scalar_rejects_on_both_routes(
+        seed in proptest::collection::vec(any::<u8>(), 1..24),
+        message in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // s >= q must be rejected before any arithmetic on either route.
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, &seed);
+        let mut sig = kp.private.sign(&message);
+        sig.s = group
+            .q
+            .to_bytes_be_padded(group.scalar_len)
+            .expect("q fits scalar_len");
+        for route in ROUTES {
+            prop_assert!(!kp.public.verify_via(route, &message, &sig));
+        }
+        // All-ones scalar (well above q) as a second boundary probe.
+        sig.s = vec![0xff; group.scalar_len];
+        for route in ROUTES {
+            prop_assert!(!kp.public.verify_via(route, &message, &sig));
+        }
+    }
+
+    #[test]
+    fn truncated_scalar_rejects_on_both_routes(
+        seed in proptest::collection::vec(any::<u8>(), 1..24),
+        message in proptest::collection::vec(any::<u8>(), 0..32),
+        cut in 1usize..32,
+    ) {
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, &seed);
+        let mut sig = kp.private.sign(&message);
+        sig.s.truncate(sig.s.len() - cut);
+        for route in ROUTES {
+            prop_assert!(!kp.public.verify_via(route, &message, &sig));
+        }
+    }
+
+    #[test]
+    fn zeroed_challenge_rejects_on_both_routes(
+        seed in proptest::collection::vec(any::<u8>(), 1..24),
+        message in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // e = 0 drives the q - e subtraction to its neg_e = q boundary;
+        // both routes must take it (and agree on rejection).
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, &seed);
+        let mut sig = kp.private.sign(&message);
+        sig.e = [0u8; 32];
+        prop_assert!(!unanimous(&kp, &message, &sig));
+    }
+}
+
+#[test]
+fn rfc3526_routes_agree() {
+    let group = Group::rfc3526_1536();
+    let kp = KeyPair::from_seed(group, b"route-equiv-1536");
+    let sig = kp.private.sign(b"big-group message");
+    assert!(unanimous(&kp, b"big-group message", &sig));
+    let mut forged = sig.clone();
+    forged.e[0] ^= 0x80;
+    assert!(!unanimous(&kp, b"big-group message", &forged));
+}
