@@ -75,7 +75,7 @@ fn bench_shared_cache_contention(c: &mut Criterion) {
                     let _ = TopologyGraph::build(&obs.served, &checker);
                 }
                 b.iter(|| {
-                    std::thread::scope(|scope| {
+                    ccc_mc::scope(|scope| {
                         for t in 0..threads {
                             let checker = &checker;
                             let observations = &observations;

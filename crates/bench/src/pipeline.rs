@@ -273,7 +273,10 @@ impl Pipeline {
             1
         } else {
             let chunk = domains.div_ceil(self.threads);
-            let workers: Vec<(P, Duration, Duration)> = std::thread::scope(|scope| {
+            // ccc_mc::scope is std::thread::scope in normal builds; the
+            // shim keeps ci/check_raw_sync.sh's raw-primitive ban
+            // satisfied for this wired crate.
+            let workers: Vec<(P, Duration, Duration)> = ccc_mc::scope(|scope| {
                 let handles: Vec<_> = (0..self.threads)
                     .map(|t| {
                         // Clamped chunk edges: ranges partition

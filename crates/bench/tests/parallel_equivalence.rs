@@ -88,7 +88,7 @@ fn hammered_checker_verifies_each_unique_pair_exactly_once() {
 
     const WORKERS: usize = 8;
     let checker = IssuanceChecker::new();
-    std::thread::scope(|scope| {
+    ccc_mc::scope(|scope| {
         for t in 0..WORKERS {
             let checker = &checker;
             let pairs = &pairs;

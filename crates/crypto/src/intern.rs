@@ -34,9 +34,14 @@
 use crate::schnorr::{Group, GroupId};
 use crate::sha256::Sha256;
 use ccc_bignum::{FixedBaseTable, MontElem, MontgomeryCtx};
+// Sync primitives come from the ccc-mc shim layer: plain std re-exports
+// in normal builds, scheduler-instrumented under `--features model-check`
+// (see crates/mc and tests/model_concurrency.rs). ci/check_raw_sync.sh
+// keeps raw std::sync out of this file.
+use ccc_mc::{AtomicU64, Mutex, OnceLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Auto-policy promotion threshold: a key's first `PROMOTION_THRESHOLD`
 /// verifications take the cold route; from the next one on, the per-key
@@ -63,12 +68,19 @@ const POLICY_NEVER: u8 = 2;
 const POLICY_UNSET: u8 = 3;
 
 /// Current policy, lazily initialized from `CCC_VERIFY_TABLES`.
+///
+/// Stays a raw `std` atomic (allowlisted in ci/raw_sync_allowlist.txt):
+/// `AtomicU8` has no ccc-mc shim, and the policy is configuration read
+/// before workloads start, not cache state worth model checking.
 static POLICY: AtomicU8 = AtomicU8::new(POLICY_UNSET);
 
 /// The active table policy: the last [`set_verify_table_policy`] value,
 /// else `CCC_VERIFY_TABLES` (`always` | `never` | anything-else = auto),
 /// else [`TablePolicy::Auto`].
 pub fn verify_table_policy() -> TablePolicy {
+    // ordering: Relaxed — POLICY is a standalone configuration byte; no
+    // other memory is published through it, so no acquire/release pairing
+    // is needed (the CAS below only arbitrates the first-write race).
     let raw = match POLICY.load(Ordering::Relaxed) {
         POLICY_UNSET => {
             let parsed = match std::env::var("CCC_VERIFY_TABLES").as_deref() {
@@ -77,6 +89,8 @@ pub fn verify_table_policy() -> TablePolicy {
                 _ => POLICY_AUTO,
             };
             // A concurrent set_verify_table_policy wins over the env read.
+            // ordering: Relaxed/Relaxed — the CAS guards only this one
+            // byte; losing the race and re-reading is the intended path.
             let _ = POLICY.compare_exchange(
                 POLICY_UNSET,
                 parsed,
@@ -102,6 +116,7 @@ pub fn set_verify_table_policy(policy: TablePolicy) {
         TablePolicy::Always => POLICY_ALWAYS,
         TablePolicy::Never => POLICY_NEVER,
     };
+    // ordering: Relaxed — single-byte flag, no dependent data (see load).
     POLICY.store(raw, Ordering::Relaxed);
 }
 
@@ -135,6 +150,9 @@ impl VerifyRouteStats {
 
 /// Snapshot of the process-wide verify-route counters.
 pub fn verify_route_stats() -> VerifyRouteStats {
+    // ordering: Relaxed — monotonic counters read as point-in-time deltas;
+    // callers tolerate (and tests account for) concurrent increments, and
+    // no other memory is synchronized through them.
     VerifyRouteStats {
         fixed_base_hits: FIXED_BASE_HITS.load(Ordering::Relaxed),
         cold_multiexps: COLD_MULTIEXPS.load(Ordering::Relaxed),
@@ -143,10 +161,15 @@ pub fn verify_route_stats() -> VerifyRouteStats {
 }
 
 pub(crate) fn note_fixed_base_hit() {
+    // ordering: Relaxed — pure monotonic count; fetch_add's RMW atomicity
+    // (never-lose-an-update) needs no ordering, and nothing reads other
+    // state "after" observing the counter. Model-checked by the
+    // route_counters_lose_no_updates property.
     FIXED_BASE_HITS.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn note_cold_multiexp() {
+    // ordering: Relaxed — same monotonic-counter argument as above.
     COLD_MULTIEXPS.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -179,11 +202,18 @@ impl InternedKey {
     /// sequence number (unique per call, so the cold/hot split is
     /// interleaving-independent).
     pub fn record_verify(&self) -> u64 {
+        // ordering: Relaxed — the returned ordinal needs only the RMW's
+        // atomicity: each caller gets a unique 1-based sequence number,
+        // which is what makes Auto promotion routing a pure function of
+        // the per-key ordinal (model-checked by
+        // promotion_ordinals_are_unique_and_route_invariantly). No other
+        // memory is published through the counter.
         self.verifies.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Verifications recorded so far.
     pub fn verify_count(&self) -> u64 {
+        // ordering: Relaxed — advisory read of a monotonic counter.
         self.verifies.load(Ordering::Relaxed)
     }
 
@@ -197,6 +227,10 @@ impl InternedKey {
     /// the `OnceLock`, so it is built at most once per process).
     pub fn table(&self, ctx: &MontgomeryCtx, max_exp_bits: usize) -> &FixedBaseTable {
         self.table.get_or_init(|| {
+            // ordering: Relaxed — counts initializer executions; the
+            // OnceLock's own synchronization publishes the table itself
+            // (exactly-once is model-checked by
+            // table_promotion_builds_exactly_once).
             TABLES_BUILT.fetch_add(1, Ordering::Relaxed);
             FixedBaseTable::from_mont(ctx, &self.y_mont, max_exp_bits)
         })
@@ -253,7 +287,11 @@ impl KeyRegistry {
     /// [`global`](Self::global)).
     pub fn new() -> KeyRegistry {
         KeyRegistry {
-            shards: (0..REGISTRY_SHARDS).map(|_| Mutex::default()).collect(),
+            // Mutex::new (not ::default) so the lock class the model
+            // checker reports is this construction site.
+            shards: (0..REGISTRY_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             mask: (REGISTRY_SHARDS - 1) as u64,
         }
     }

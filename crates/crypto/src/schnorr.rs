@@ -20,9 +20,13 @@ use crate::sha256::Sha256;
 use ccc_bignum::{
     joint_pow_with_powers, window_powers, FixedBaseTable, MontElem, MontgomeryCtx, Uint,
 };
+// Sync primitives come from the ccc-mc shim layer (std re-exports in
+// normal builds, scheduler-instrumented under `model-check`); the group
+// statics and per-key interning slots are on model-checked paths.
+use ccc_mc::{AtomicU64, OnceLock};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Global count of key-pair derivations (scalar sampling + `g^x`).
 ///
@@ -38,6 +42,8 @@ static KEYPAIR_DERIVATIONS: AtomicU64 = AtomicU64::new(0);
 /// `ccc-testgen` to pin the "each CA key is derived exactly once per
 /// corpus" memoization property.
 pub fn keypair_derivations() -> u64 {
+    // ordering: Relaxed — monotonic counter read as a workload delta; no
+    // other memory is synchronized through it.
     KEYPAIR_DERIVATIONS.load(Ordering::Relaxed)
 }
 
@@ -290,6 +296,8 @@ impl Signature {
 impl KeyPair {
     /// Generate a key pair from a DRBG stream.
     pub fn generate(group: &Group, drbg: &mut Drbg) -> KeyPair {
+        // ordering: Relaxed — pure monotonic count; the RMW's atomicity
+        // alone guarantees no derivation goes uncounted.
         KEYPAIR_DERIVATIONS.fetch_add(1, Ordering::Relaxed);
         loop {
             let candidate = Uint::from_bytes_be(&drbg.bytes(group.scalar_len));

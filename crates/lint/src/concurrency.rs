@@ -1,0 +1,223 @@
+//! Bridge from the `ccc-mc` dynamic lock-order pass to the lint
+//! diagnostic machinery.
+//!
+//! The model checker aggregates a [`LockOrderReport`] across every
+//! explored schedule; this module projects it onto [`Finding`]s so the
+//! existing renderers (text, JSONL, SARIF) and baseline mechanism apply
+//! unchanged. Two rules:
+//!
+//! - [`RULE_LOCK_ORDER_CYCLE`] (error): a cycle in the lock acquisition-
+//!   order graph — a potential deadlock even if no explored schedule
+//!   actually deadlocked (lockdep's insight: the *order* inversion is the
+//!   bug, the hang needs unlucky timing).
+//! - [`RULE_ATOMIC_ORDERING`] (notice): the memory orderings requested at
+//!   each instrumented atomic site, surfaced so ordering choices are
+//!   reviewable artifacts rather than silent defaults. Exploration
+//!   itself is sequentially consistent; the note records what the source
+//!   *asked for*.
+//!
+//! The artifact URI scheme is `mc://<site>` — a source location instead
+//! of a queried domain, mirroring how the chain rules use
+//! `chain://<domain>`.
+
+use crate::diag::{Finding, Severity};
+use crate::render::{render_sarif_with, SarifRule, SarifTool};
+use ccc_mc::LockOrderReport;
+
+/// Rule ID for lock acquisition-order cycles.
+pub const RULE_LOCK_ORDER_CYCLE: &str = "e_lock_order_cycle";
+/// Rule ID for per-site atomic ordering notes.
+pub const RULE_ATOMIC_ORDERING: &str = "n_atomic_ordering";
+
+/// The rules table for lock-order SARIF output, in `ruleIndex` order.
+pub fn lock_order_rules() -> [SarifRule<'static>; 2] {
+    [
+        SarifRule {
+            id: RULE_LOCK_ORDER_CYCLE,
+            description: "cycle in the dynamic lock acquisition-order graph (potential deadlock)",
+            level: "error",
+            citation: "ccc-mc lock-order pass; cf. Linux lockdep",
+            scope: "process",
+        },
+        SarifRule {
+            id: RULE_ATOMIC_ORDERING,
+            description: "memory orderings requested at an instrumented atomic site",
+            level: "note",
+            citation: "ccc-mc atomics-ordering notes",
+            scope: "site",
+        },
+    ]
+}
+
+/// Project a [`LockOrderReport`] onto lint [`Finding`]s: one error per
+/// cycle, one notice per instrumented atomic site. Deterministic for a
+/// given report (the report's own vectors are already canonically
+/// sorted).
+pub fn lock_order_findings(report: &LockOrderReport) -> Vec<Finding> {
+    let mut findings = Vec::with_capacity(report.cycles.len() + report.atomics.len());
+    for cycle in &report.cycles {
+        let description = report.describe_cycle(cycle);
+        // Anchor the finding at the cycle's first (smallest-index) class
+        // site; the full path lives in the message and fingerprint.
+        let site = cycle
+            .first()
+            .map(|&idx| report.classes[idx].site.clone())
+            .unwrap_or_default();
+        findings.push(Finding {
+            rule_id: RULE_LOCK_ORDER_CYCLE,
+            severity: Severity::Error,
+            domain: site.clone(),
+            message: format!("lock-order cycle: {description}"),
+            cert_index: None,
+            byte_offset: None,
+            byte_length: None,
+            fingerprint: Finding::fingerprint_for(RULE_LOCK_ORDER_CYCLE, &site, &description),
+        });
+    }
+    for summary in &report.atomics {
+        findings.push(Finding {
+            rule_id: RULE_ATOMIC_ORDERING,
+            severity: Severity::Notice,
+            domain: summary.site.clone(),
+            message: format!("atomic orderings: {}", summary.describe()),
+            cert_index: None,
+            byte_offset: None,
+            byte_length: None,
+            fingerprint: Finding::fingerprint_for(
+                RULE_ATOMIC_ORDERING,
+                &summary.site,
+                &summary.describe(),
+            ),
+        });
+    }
+    findings
+}
+
+/// Full SARIF 2.1.0 document for a lock-order report, through the same
+/// renderer as chain findings ([`render_sarif_with`]).
+pub fn render_lock_order_sarif(report: &LockOrderReport) -> String {
+    render_sarif_with(
+        SarifTool {
+            name: "ccc-mc-lockorder",
+            version: env!("CARGO_PKG_VERSION"),
+            information_uri: "https://example.invalid/chain-chaos",
+        },
+        "mc",
+        &lock_order_rules(),
+        &lock_order_findings(report),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+    use ccc_mc::{AtomicSiteSummary, LockClass, LockEdge, LockKind};
+
+    /// A fixed two-class inversion with one atomic site — the same shape
+    /// `gated_lock_inversion` produces, but hand-built so this test (and
+    /// the golden snapshot in tests/snapshots.rs) does not depend on the
+    /// `model-check` feature.
+    pub(crate) fn fixture_report() -> LockOrderReport {
+        let mut report = LockOrderReport {
+            classes: vec![
+                LockClass {
+                    kind: LockKind::Mutex,
+                    site: "crates/mc/src/scenarios.rs:10".to_string(),
+                },
+                LockClass {
+                    kind: LockKind::Mutex,
+                    site: "crates/mc/src/scenarios.rs:11".to_string(),
+                },
+            ],
+            edges: vec![
+                LockEdge {
+                    from: 0,
+                    to: 1,
+                    acquire_site: "crates/mc/src/scenarios.rs:20".to_string(),
+                    observations: 4,
+                },
+                LockEdge {
+                    from: 1,
+                    to: 0,
+                    acquire_site: "crates/mc/src/scenarios.rs:30".to_string(),
+                    observations: 4,
+                },
+            ],
+            cycles: Vec::new(),
+            atomics: vec![AtomicSiteSummary {
+                site: "crates/mc/src/scenarios.rs:40".to_string(),
+                load_orderings: vec!["Relaxed".to_string()],
+                store_orderings: Vec::new(),
+                rmw_orderings: vec!["Relaxed".to_string()],
+            }],
+        };
+        report.detect_cycles();
+        report
+    }
+
+    #[test]
+    fn cycle_becomes_error_finding() {
+        let report = fixture_report();
+        let findings = lock_order_findings(&report);
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].rule_id, RULE_LOCK_ORDER_CYCLE);
+        assert_eq!(findings[0].severity, Severity::Error);
+        assert!(findings[0].message.contains("mutex@"));
+        assert!(findings[0].message.contains(" -> "));
+        assert_eq!(findings[1].rule_id, RULE_ATOMIC_ORDERING);
+        assert_eq!(findings[1].severity, Severity::Notice);
+        assert!(findings[1].message.contains("rmws{Relaxed}"));
+    }
+
+    #[test]
+    fn acyclic_report_yields_only_notes() {
+        let mut report = fixture_report();
+        report.edges.pop();
+        report.detect_cycles();
+        let findings = lock_order_findings(&report);
+        assert!(findings
+            .iter()
+            .all(|f| f.rule_id == RULE_ATOMIC_ORDERING && f.severity == Severity::Notice));
+    }
+
+    #[test]
+    fn sarif_document_is_valid_and_uses_mc_scheme() {
+        let doc = json::parse(&render_lock_order_sarif(&fixture_report())).unwrap();
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let runs = doc.get("runs").and_then(Value::as_array).unwrap();
+        let driver = runs[0].get("tool").and_then(|t| t.get("driver")).unwrap();
+        assert_eq!(
+            driver.get("name").and_then(Value::as_str),
+            Some("ccc-mc-lockorder")
+        );
+        let rules = driver.get("rules").and_then(Value::as_array).unwrap();
+        assert_eq!(rules.len(), 2);
+        let results = runs[0].get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        for result in results {
+            let idx = result.get("ruleIndex").and_then(Value::as_f64).unwrap() as usize;
+            let id = result.get("ruleId").and_then(Value::as_str).unwrap();
+            assert_eq!(rules[idx].get("id").and_then(Value::as_str), Some(id));
+            let uri = result
+                .get("locations")
+                .and_then(Value::as_array)
+                .and_then(|l| l[0].get("physicalLocation"))
+                .and_then(|p| p.get("artifactLocation"))
+                .and_then(|a| a.get("uri"))
+                .and_then(Value::as_str)
+                .unwrap();
+            assert!(uri.starts_with("mc://"), "{uri}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_cycles() {
+        let report = fixture_report();
+        let findings = lock_order_findings(&report);
+        let mut prints: Vec<&str> = findings.iter().map(|f| f.fingerprint.as_str()).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), findings.len());
+    }
+}

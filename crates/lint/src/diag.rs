@@ -84,7 +84,9 @@ pub struct Finding {
 }
 
 impl Finding {
-    fn fingerprint_for(rule_id: &str, domain: &str, site: &str) -> String {
+    /// Stable content fingerprint shared by chain rules and the
+    /// concurrency bridge (`crate::concurrency`).
+    pub(crate) fn fingerprint_for(rule_id: &str, domain: &str, site: &str) -> String {
         let mut material = Vec::with_capacity(rule_id.len() + domain.len() + site.len() + 2);
         material.extend_from_slice(rule_id.as_bytes());
         material.push(0);

@@ -196,7 +196,10 @@ impl LintSummary {
             return Self::compute_range(corpus, checker, 0, corpus.spec.domains);
         }
         let chunk = corpus.spec.domains.div_ceil(threads);
-        let partials: Vec<LintSummary> = std::thread::scope(|scope| {
+        // ccc_mc::scope is std::thread::scope in normal builds; the shim
+        // keeps ci/check_raw_sync.sh's raw-primitive ban satisfied for
+        // this wired crate.
+        let partials: Vec<LintSummary> = ccc_mc::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let start = t * chunk;

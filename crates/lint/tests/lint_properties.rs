@@ -11,7 +11,7 @@ use ccc_core::IssuanceChecker;
 use ccc_lint::{LintSummary, Severity};
 use ccc_testgen::{Corpus, CorpusSpec};
 use proptest::prelude::*;
-use std::sync::OnceLock;
+use ccc_mc::OnceLock;
 
 /// Shared 1000-domain scan corpus (seed 833, the bench harness seed);
 /// built once, reused by the heavier tests below.

@@ -1,0 +1,33 @@
+//! End-to-end: a real ccc-mc exploration's lock-order report renders
+//! through the lint SARIF bridge (model-check builds only).
+
+#![cfg(feature = "model-check")]
+
+use ccc_lint::concurrency::{lock_order_findings, render_lock_order_sarif, RULE_LOCK_ORDER_CYCLE};
+use ccc_lint::json::{self, Value};
+use ccc_mc::{scenarios, Explorer};
+
+#[test]
+fn explored_inversion_renders_as_sarif_error() {
+    let exploration = Explorer::new().explore(scenarios::gated_lock_inversion);
+    assert!(exploration.failure.is_none(), "{:?}", exploration.failure);
+    assert_eq!(exploration.lock_order.cycles.len(), 1);
+
+    let findings = lock_order_findings(&exploration.lock_order);
+    assert!(findings
+        .iter()
+        .any(|f| f.rule_id == RULE_LOCK_ORDER_CYCLE && f.message.contains("scenarios.rs")));
+
+    let doc = json::parse(&render_lock_order_sarif(&exploration.lock_order))
+        .expect("bridge SARIF parses");
+    let results = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .and_then(|r| r[0].get("results"))
+        .and_then(Value::as_array)
+        .expect("results[]");
+    assert!(results.iter().any(|r| {
+        r.get("ruleId").and_then(Value::as_str) == Some(RULE_LOCK_ORDER_CYCLE)
+            && r.get("level").and_then(Value::as_str) == Some("error")
+    }));
+}

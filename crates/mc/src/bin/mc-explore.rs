@@ -1,0 +1,99 @@
+//! Deterministic exploration harness for CI.
+//!
+//! Runs the built-in scenario suite under a preemption bound and prints
+//! one line per scenario: name, executions explored, pruned count,
+//! completeness, and failure kind. CI runs this twice and diffs the
+//! output — any divergence means the explorer lost determinism.
+//!
+//! Usage:
+//! - `mc-explore [preemption-bound]` (default 2): run the suite.
+//! - `mc-explore minimize <scenario>`: explore the named scenario
+//!   unbounded, minimize the counterexample, and print it in committed
+//!   `.txt` form (the workflow in DESIGN.md §15).
+
+use ccc_mc::scenarios::{
+    gated_lock_inversion, once_coalesce_property, racy_counter_property, run_suite,
+    safe_counter_property, ungated_lock_inversion,
+};
+use ccc_mc::Explorer;
+
+fn scenario_fn(name: &str) -> fn() {
+    match name {
+        "racy-counter" => racy_counter_property,
+        "safe-counter" => safe_counter_property,
+        "once-coalesce" => once_coalesce_property,
+        "gated-lock-inversion" => gated_lock_inversion,
+        "ungated-lock-inversion" => ungated_lock_inversion,
+        other => {
+            eprintln!("unknown scenario {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn minimize(name: &str) {
+    let explorer = Explorer::new();
+    let property = scenario_fn(name);
+    let exploration = explorer.explore(property);
+    let Some(failure) = exploration.failure else {
+        eprintln!("{name}: no failure found (nothing to minimize)");
+        std::process::exit(1);
+    };
+    let minimized = explorer.minimize(&failure.schedule, property);
+    println!("# scenario: {name}");
+    println!("# kind: {:?}", failure.kind);
+    println!(
+        "# minimized from {} to {} choices",
+        failure.schedule.len(),
+        minimized.len()
+    );
+    println!("{minimized}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("minimize") {
+        match args.get(1) {
+            Some(name) => minimize(name),
+            None => {
+                eprintln!("usage: mc-explore minimize <scenario>");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let bound = args
+        .first()
+        .map(|s| s.parse::<usize>().expect("preemption bound must be a number"))
+        .unwrap_or(2);
+    println!("# mc-explore suite, preemption bound {bound}");
+    let mut failed_expectations = 0u32;
+    for outcome in run_suite(bound) {
+        let e = &outcome.exploration;
+        let status = match (&e.failure, outcome.expect_failure) {
+            (Some(f), true) => format!("caught {:?} (schedule {})", f.kind, f.schedule),
+            (None, false) => "ok".to_string(),
+            (Some(f), false) => {
+                failed_expectations += 1;
+                format!("UNEXPECTED {:?}: {}", f.kind, f.message)
+            }
+            (None, true) => {
+                failed_expectations += 1;
+                "MISSED seeded bug".to_string()
+            }
+        };
+        println!(
+            "{name} schedules={schedules} pruned={pruned} complete={complete} truncated={truncated} cycles={cycles} {status}",
+            name = outcome.name,
+            schedules = e.schedules,
+            pruned = e.pruned,
+            complete = e.complete,
+            truncated = e.truncated,
+            cycles = e.lock_order.cycles.len(),
+        );
+    }
+    if failed_expectations > 0 {
+        eprintln!("mc-explore: {failed_expectations} scenario expectation(s) violated");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Self-contained demonstration scenarios over the shim primitives.
+//!
+//! These exist for three reasons: they are the crate's own regression
+//! suite (the wired-crate scenarios live in `ccc-crypto`/`ccc-core`
+//! model tests), they seed the **intentional lost-update bug** the
+//! acceptance criteria require the checker to catch, and the `mc-explore`
+//! binary runs them twice in CI to diff explored-schedule counts for
+//! determinism.
+
+use crate::explore::{Explorer, Exploration};
+use crate::modeled::{spawn, AtomicU64, Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Intentionally broken counter: `increment` is a load/store pair instead
+/// of a fetch-add, so two concurrent increments can lose an update. The
+/// model checker must find this (a committed minimized schedule replays
+/// it forever after).
+#[derive(Debug, Default)]
+pub struct RacyCounter {
+    value: AtomicU64,
+}
+
+impl RacyCounter {
+    /// The seeded bug: read-modify-write without atomicity.
+    pub fn increment(&self) {
+        // ordering: Relaxed is *not* the bug here — the lost update comes
+        // from splitting the RMW, which no ordering fixes.
+        let v = self.value.load(Ordering::Relaxed);
+        self.value.store(v + 1, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The corrected counter: a single atomic RMW per increment.
+#[derive(Debug, Default)]
+pub struct SafeCounter {
+    value: AtomicU64,
+}
+
+impl SafeCounter {
+    pub fn increment(&self) {
+        // ordering: Relaxed — pure monotonic counter; no other memory is
+        // published through it.
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Property: two concurrent `RacyCounter::increment`s still sum to 2.
+/// This is FALSE — exploration finds the interleaving where both tasks
+/// load 0 before either stores.
+pub fn racy_counter_property() {
+    let counter = Arc::new(RacyCounter::default());
+    let (a, b) = (Arc::clone(&counter), Arc::clone(&counter));
+    let t1 = spawn(move || a.increment());
+    let t2 = spawn(move || b.increment());
+    t1.join().expect("task 1");
+    t2.join().expect("task 2");
+    assert_eq!(counter.get(), 2, "lost update: racy counter dropped an increment");
+}
+
+/// Property: two concurrent `SafeCounter::increment`s sum to 2 (true in
+/// every interleaving).
+pub fn safe_counter_property() {
+    let counter = Arc::new(SafeCounter::default());
+    let (a, b) = (Arc::clone(&counter), Arc::clone(&counter));
+    let t1 = spawn(move || a.increment());
+    let t2 = spawn(move || b.increment());
+    t1.join().expect("task 1");
+    t2.join().expect("task 2");
+    assert_eq!(counter.get(), 2);
+}
+
+/// Property: `OnceLock` coalescing — with N concurrent `get_or_init`
+/// calls, the initializer runs exactly once and every task observes the
+/// same value.
+pub fn once_coalesce_property() {
+    let cell: Arc<OnceLock<u64>> = Arc::new(OnceLock::new());
+    let inits = Arc::new(SafeCounter::default());
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            let cell = Arc::clone(&cell);
+            let inits = Arc::clone(&inits);
+            spawn(move || {
+                *cell.get_or_init(|| {
+                    inits.increment();
+                    40 + i
+                })
+            })
+        })
+        .collect();
+    let seen: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("init task"))
+        .collect();
+    assert_eq!(inits.get(), 1, "initializer ran more than once");
+    assert!(
+        seen.windows(2).all(|w| w[0] == w[1]),
+        "tasks observed different values: {seen:?}"
+    );
+}
+
+/// Inconsistent nesting under an outer gate: task 1 takes `a` then `b`,
+/// task 2 takes `b` then `a`, but both hold `gate` around the nested
+/// section so no schedule actually deadlocks. The lock-order pass still
+/// reports the a⇄b class cycle — exactly the latent hazard lockdep-style
+/// analysis exists to catch before the gate is ever removed.
+pub fn gated_lock_inversion() {
+    #[derive(Debug)]
+    struct Demo {
+        gate: Mutex<()>,
+        a: Mutex<u32>,
+        b: Mutex<u32>,
+    }
+    let demo = Arc::new(Demo {
+        gate: Mutex::new(()),
+        a: Mutex::new(0),
+        b: Mutex::new(0),
+    });
+    let d1 = Arc::clone(&demo);
+    let d2 = Arc::clone(&demo);
+    let t1 = spawn(move || {
+        let _g = d1.gate.lock().expect("gate");
+        let mut a = d1.a.lock().expect("a");
+        let mut b = d1.b.lock().expect("b");
+        *a += 1;
+        *b += 1;
+    });
+    let t2 = spawn(move || {
+        let _g = d2.gate.lock().expect("gate");
+        let mut b = d2.b.lock().expect("b");
+        let mut a = d2.a.lock().expect("a");
+        *b += 1;
+        *a += 1;
+    });
+    t1.join().expect("task 1");
+    t2.join().expect("task 2");
+}
+
+/// Genuine deadlock: the same inversion with the gate removed. The
+/// explorer finds the schedule where each task holds one lock and blocks
+/// on the other, reported as [`FailureKind::Deadlock`](crate::FailureKind).
+pub fn ungated_lock_inversion() {
+    let locks = Arc::new((Mutex::new(0u32), Mutex::new(0u32)));
+    let l1 = Arc::clone(&locks);
+    let l2 = Arc::clone(&locks);
+    let t1 = spawn(move || {
+        let mut a = l1.0.lock().expect("a");
+        let mut b = l1.1.lock().expect("b");
+        *a += 1;
+        *b += 1;
+    });
+    let t2 = spawn(move || {
+        let mut b = l2.1.lock().expect("b");
+        let mut a = l2.0.lock().expect("a");
+        *b += 1;
+        *a += 1;
+    });
+    t1.join().expect("task 1");
+    t2.join().expect("task 2");
+}
+
+/// One named scenario run, for the determinism harness.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    pub name: &'static str,
+    pub exploration: Exploration,
+    /// Whether this scenario is *expected* to fail (seeded bugs).
+    pub expect_failure: bool,
+}
+
+/// Run the whole built-in suite under `bound` preemptions. Output order
+/// and contents are deterministic; `mc-explore` prints this twice in CI
+/// and diffs the schedule counts.
+pub fn run_suite(bound: usize) -> Vec<ScenarioOutcome> {
+    let explorer = Explorer::new().with_preemption_bound(bound);
+    vec![
+        ScenarioOutcome {
+            name: "racy-counter",
+            exploration: explorer.explore(racy_counter_property),
+            expect_failure: true,
+        },
+        ScenarioOutcome {
+            name: "safe-counter",
+            exploration: explorer.explore(safe_counter_property),
+            expect_failure: false,
+        },
+        ScenarioOutcome {
+            name: "once-coalesce",
+            exploration: explorer.explore(once_coalesce_property),
+            expect_failure: false,
+        },
+        ScenarioOutcome {
+            name: "gated-lock-inversion",
+            exploration: explorer.explore(gated_lock_inversion),
+            expect_failure: false,
+        },
+        ScenarioOutcome {
+            name: "ungated-lock-inversion",
+            exploration: explorer.explore(ungated_lock_inversion),
+            expect_failure: true,
+        },
+    ]
+}

@@ -1,0 +1,136 @@
+//! Exploration behavior of the built-in scenarios (model-check builds
+//! only; tier-1 `cargo test -q` skips this file entirely).
+
+#![cfg(feature = "model-check")]
+
+use ccc_mc::scenarios::{
+    gated_lock_inversion, once_coalesce_property, racy_counter_property, run_suite,
+    safe_counter_property, ungated_lock_inversion,
+};
+use ccc_mc::{Explorer, FailureKind, LockKind, Schedule};
+
+#[test]
+fn seeded_lost_update_is_caught_and_minimizes() {
+    let explorer = Explorer::new();
+    let exploration = explorer.explore(racy_counter_property);
+    let failure = exploration.failure.expect("seeded racy counter bug must be found");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("lost update"),
+        "unexpected failure message: {}",
+        failure.message
+    );
+    // The counterexample replays from its serialized form...
+    let parsed: Schedule = failure.schedule.to_string().parse().expect("roundtrip");
+    let replayed = explorer
+        .replay(&parsed, racy_counter_property)
+        .expect("serialized schedule must reproduce");
+    assert_eq!(replayed.kind, FailureKind::Panic);
+    // ...and minimizes to a strictly shorter prefix that still fails.
+    let minimized = explorer.minimize(&failure.schedule, racy_counter_property);
+    assert!(minimized.len() < failure.schedule.len());
+    let again = explorer
+        .replay(&minimized, racy_counter_property)
+        .expect("minimized schedule must reproduce");
+    assert_eq!(again.kind, FailureKind::Panic);
+}
+
+#[test]
+fn safe_counter_explores_to_fixpoint_without_failure() {
+    let exploration = Explorer::new().explore(safe_counter_property);
+    assert!(exploration.failure.is_none());
+    assert!(exploration.complete, "unbounded exploration must reach fixpoint");
+    assert!(!exploration.truncated);
+    assert!(exploration.schedules >= 2, "must explore both increment orders");
+}
+
+#[test]
+fn once_coalescing_holds_in_every_interleaving() {
+    let exploration = Explorer::new().explore(once_coalesce_property);
+    assert!(exploration.failure.is_none(), "{:?}", exploration.failure);
+    assert!(exploration.complete);
+    // The init slot shows up as a once-init lock class.
+    assert!(exploration
+        .lock_order
+        .classes
+        .iter()
+        .any(|c| c.kind == LockKind::OnceInit));
+}
+
+#[test]
+fn gated_inversion_reports_cycle_without_deadlock() {
+    let exploration = Explorer::new().explore(gated_lock_inversion);
+    assert!(exploration.failure.is_none(), "the gate prevents any deadlock");
+    assert!(exploration.complete);
+    assert!(!exploration.lock_order.is_acyclic(), "a⇄b class cycle must be reported");
+    let cycle = &exploration.lock_order.cycles[0];
+    let description = exploration.lock_order.describe_cycle(cycle);
+    assert!(description.contains("mutex@"), "cycle names classes: {description}");
+    assert_eq!(cycle.len(), 2, "the a⇄b inversion is a two-class cycle");
+}
+
+#[test]
+fn ungated_inversion_deadlocks_with_replayable_schedule() {
+    let explorer = Explorer::new();
+    let exploration = explorer.explore(ungated_lock_inversion);
+    let failure = exploration.failure.expect("deadlock must be found");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("deadlock"));
+    let minimized = explorer.minimize(&failure.schedule, ungated_lock_inversion);
+    let replayed = explorer
+        .replay(&minimized, ungated_lock_inversion)
+        .expect("minimized deadlock schedule reproduces");
+    assert_eq!(replayed.kind, FailureKind::Deadlock);
+}
+
+#[test]
+fn exploration_is_deterministic_across_runs() {
+    let first = run_suite(2);
+    let second = run_suite(2);
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(second.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.exploration.schedules, b.exploration.schedules, "{}", a.name);
+        assert_eq!(a.exploration.pruned, b.exploration.pruned, "{}", a.name);
+        assert_eq!(a.exploration.complete, b.exploration.complete, "{}", a.name);
+        assert_eq!(
+            a.exploration.failure.as_ref().map(|f| f.schedule.to_string()),
+            b.exploration.failure.as_ref().map(|f| f.schedule.to_string()),
+            "{}",
+            a.name
+        );
+        assert_eq!(a.exploration.lock_order, b.exploration.lock_order, "{}", a.name);
+    }
+}
+
+#[test]
+fn preemption_bound_zero_still_finds_nothing_wrong_with_safe_code() {
+    // Bound 0 = pure run-to-completion schedules; must be a subset and
+    // flagged truncated when alternatives were clipped.
+    let exploration = Explorer::new()
+        .with_preemption_bound(0)
+        .explore(safe_counter_property);
+    assert!(exploration.failure.is_none());
+}
+
+#[test]
+fn shims_delegate_to_std_outside_model_runs() {
+    // Feature-unified builds run ordinary tests too: the shims must work
+    // as plain primitives when no explorer is driving.
+    let m = ccc_mc::Mutex::new(1u32);
+    *m.lock().expect("lock") += 1;
+    let cell: ccc_mc::OnceLock<u32> = ccc_mc::OnceLock::new();
+    assert_eq!(*cell.get_or_init(|| 5), 5);
+    assert_eq!(cell.get(), Some(&5));
+    let counter = ccc_mc::AtomicU64::new(0);
+    counter.fetch_add(3, ccc_mc::Ordering::Relaxed);
+    assert_eq!(counter.load(ccc_mc::Ordering::Relaxed), 3);
+    let handle = ccc_mc::spawn(|| 11u8);
+    assert_eq!(handle.join().expect("join"), 11);
+    let total = ccc_mc::scope(|scope| {
+        let h1 = scope.spawn(|| 2u32);
+        let h2 = scope.spawn(|| 3u32);
+        h1.join().expect("h1") + h2.join().expect("h2")
+    });
+    assert_eq!(total, 5);
+}

@@ -1,0 +1,70 @@
+//! Replays every committed schedule in `tests/schedules/*.txt` and
+//! asserts each still reproduces its failure. These files are minimized
+//! counterexamples (see DESIGN.md §15 for the workflow); if a code change
+//! legitimately kills one, regenerate it with
+//! `mc-explore minimize <scenario>` rather than deleting it.
+
+#![cfg(feature = "model-check")]
+
+use ccc_mc::scenarios::{
+    gated_lock_inversion, once_coalesce_property, racy_counter_property, safe_counter_property,
+    ungated_lock_inversion,
+};
+use ccc_mc::{Explorer, FailureKind, Schedule};
+
+fn scenario_fn(name: &str) -> fn() {
+    match name {
+        "racy-counter" => racy_counter_property,
+        "safe-counter" => safe_counter_property,
+        "once-coalesce" => once_coalesce_property,
+        "gated-lock-inversion" => gated_lock_inversion,
+        "ungated-lock-inversion" => ungated_lock_inversion,
+        other => panic!("schedule file names unknown scenario {other:?}"),
+    }
+}
+
+fn expected_kind(text: &str) -> FailureKind {
+    for line in text.lines() {
+        if let Some(kind) = line.strip_prefix("# kind: ") {
+            return match kind.trim() {
+                "Panic" => FailureKind::Panic,
+                "Deadlock" => FailureKind::Deadlock,
+                other => panic!("unknown failure kind {other:?}"),
+            };
+        }
+    }
+    panic!("schedule file missing `# kind:` header");
+}
+
+fn scenario_name(text: &str) -> String {
+    for line in text.lines() {
+        if let Some(name) = line.strip_prefix("# scenario: ") {
+            return name.trim().to_string();
+        }
+    }
+    panic!("schedule file missing `# scenario:` header");
+}
+
+#[test]
+fn committed_schedules_still_reproduce() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/schedules");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/schedules exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no committed schedules found in {dir:?}");
+    let explorer = Explorer::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("read schedule");
+        let name = scenario_name(&text);
+        let kind = expected_kind(&text);
+        let schedule: Schedule = text.parse().expect("parse schedule");
+        assert!(!schedule.is_empty(), "{path:?} holds an empty schedule");
+        let failure = explorer
+            .replay(&schedule, scenario_fn(&name))
+            .unwrap_or_else(|| panic!("{path:?} no longer reproduces a failure"));
+        assert_eq!(failure.kind, kind, "{path:?} reproduced the wrong failure kind");
+    }
+}
