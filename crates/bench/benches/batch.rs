@@ -1,0 +1,101 @@
+//! Batched Schnorr verification: `verify_batch` throughput per signature
+//! across batch sizes, next to the per-signature hot and cold routes it
+//! amortizes.
+//!
+//! The operands are real signatures from one CA-style key (the corpus
+//! shape: few signers, many certificates) with deterministic messages so
+//! runs are comparable. Batch verdicts are asserted identical to
+//! per-signature `verify` before any timing — a broken aggregate can't
+//! "win" — and the key's table promotion is paid outside the timed
+//! region, like the hot route in `benches/verify.rs`.
+
+use ccc_crypto::batch::{verify_batch, BatchItem};
+use ccc_crypto::{Drbg, Group, KeyPair, Signature, VerifyRoute};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+struct Case {
+    label: &'static str,
+    group: &'static Group,
+    /// Batch sizes to sweep (the 1536-bit group keeps the list short so
+    /// `--test` smoke runs stay fast).
+    sizes: &'static [usize],
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            label: "sim256",
+            group: Group::simulation_256(),
+            sizes: &[1, 4, 16, 64, 256],
+        },
+        Case {
+            label: "rfc3526_1536",
+            group: Group::rfc3526_1536(),
+            sizes: &[16, 64],
+        },
+    ]
+}
+
+/// One CA-style key plus deterministic signatures to verify against it.
+fn workload(group: &'static Group, n: usize) -> (KeyPair, Vec<(Vec<u8>, Signature)>) {
+    let kp = KeyPair::from_seed(group, b"bench-batch-ca-key");
+    let mut drbg = Drbg::from_u64(0x0ba7_c4ed);
+    let sigs = (0..n)
+        .map(|_| {
+            let message = drbg.bytes(48);
+            let sig = kp.private.sign(&message);
+            (message, sig)
+        })
+        .collect();
+    (kp, sigs)
+}
+
+fn bench_batch(c: &mut Criterion) {
+    for case in cases() {
+        let max = *case.sizes.iter().max().expect("sizes non-empty");
+        let (kp, sigs) = workload(case.group, max);
+        let items: Vec<BatchItem<'_>> = sigs
+            .iter()
+            .map(|(m, s)| (&kp.public, m.as_slice(), s))
+            .collect();
+
+        // Correctness gate: the batch agrees with per-signature verify on
+        // every input (this also promotes the key, so the timed region is
+        // steady-state hot like production CA keys).
+        let out = verify_batch(&items);
+        for (i, (message, sig)) in sigs.iter().enumerate() {
+            assert!(kp.public.verify(message, sig), "scalar reject at {i}");
+            assert!(out.verdicts[i], "batch reject at {i}");
+        }
+        assert!(out.healed.is_empty(), "aggregate drift outside fault tests");
+
+        let mut grp = c.benchmark_group(format!("batch/{}", case.label));
+        grp.sample_size(10);
+        // Per-signature baselines the batch is judged against.
+        grp.throughput(Throughput::Elements(1));
+        grp.bench_function(BenchmarkId::from_parameter("route_cold_multiexp"), |b| {
+            let (message, sig) = &sigs[0];
+            b.iter(|| {
+                std::hint::black_box(kp.public.verify_via(VerifyRoute::MultiExp, message, sig))
+            })
+        });
+        grp.bench_function(BenchmarkId::from_parameter("route_hot_fixed_base"), |b| {
+            let (message, sig) = &sigs[0];
+            b.iter(|| {
+                std::hint::black_box(kp.public.verify_via(VerifyRoute::FixedBase, message, sig))
+            })
+        });
+        for &size in case.sizes {
+            grp.throughput(Throughput::Elements(size as u64));
+            grp.bench_with_input(
+                BenchmarkId::from_parameter(format!("verify_batch_{size}")),
+                &items[..size],
+                |b, items| b.iter(|| std::hint::black_box(verify_batch(items))),
+            );
+        }
+        grp.finish();
+    }
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

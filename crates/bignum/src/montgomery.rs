@@ -219,12 +219,7 @@ impl MontgomeryCtx {
             return self.one();
         }
         // table[d-1] = base^d for d in 1..16.
-        let mut table = Vec::with_capacity((1 << WINDOW) - 1);
-        table.push(base.clone());
-        for d in 1..(1 << WINDOW) - 1 {
-            let next = self.mul(&table[d - 1], base);
-            table.push(next);
-        }
+        let table = crate::multiexp::digit_powers(self, base, WINDOW);
         let windows = bits.div_ceil(WINDOW);
         let mut result: Option<MontElem> = None;
         for w in (0..windows).rev() {
@@ -287,6 +282,7 @@ fn limbs_sub_in_place(a: &mut [u64], b: &[u64]) {
 pub struct FixedBaseTable {
     table: Vec<Vec<MontElem>>,
     max_bits: usize,
+    window: usize,
 }
 
 impl FixedBaseTable {
@@ -305,24 +301,35 @@ impl FixedBaseTable {
     /// verified against for many certificates). `new` is the normal-form
     /// convenience wrapper.
     pub fn from_mont(ctx: &MontgomeryCtx, base: &MontElem, max_exp_bits: usize) -> FixedBaseTable {
-        let windows = max_exp_bits.div_ceil(WINDOW).max(1);
+        FixedBaseTable::from_mont_with_window(ctx, base, max_exp_bits, WINDOW)
+    }
+
+    /// [`from_mont`](Self::from_mont) at an explicit window width.
+    ///
+    /// Wider windows trade table size (and build time) for fewer
+    /// multiplications per exponentiation: `⌈bits/w⌉` lookups instead of
+    /// `⌈bits/4⌉`. Batch verification uses an 8-bit generator table —
+    /// every batched check exponentiates `g`, so the bigger build
+    /// amortizes where a per-key table would not.
+    pub fn from_mont_with_window(
+        ctx: &MontgomeryCtx,
+        base: &MontElem,
+        max_exp_bits: usize,
+        window: usize,
+    ) -> FixedBaseTable {
+        debug_assert!((1..=16).contains(&window));
+        let windows = max_exp_bits.div_ceil(window).max(1);
         let mut block_base = base.clone();
         let mut table = Vec::with_capacity(windows);
         for w in 0..windows {
-            let mut row = Vec::with_capacity((1 << WINDOW) - 1);
-            row.push(block_base.clone());
-            for d in 1..(1 << WINDOW) - 1 {
-                let next = ctx.mul(&row[d - 1], &block_base);
-                row.push(next);
-            }
+            let row = crate::multiexp::digit_powers(ctx, &block_base, window);
             if w + 1 < windows {
-                // base for the next block: this block's base^(2^WINDOW).
-                block_base = row[(1 << (WINDOW - 1)) - 1].clone();
-                block_base = ctx.square(&block_base);
+                // base for the next block: this block's base^(2^window).
+                block_base = ctx.square(&row[(1 << (window - 1)) - 1]);
             }
             table.push(row);
         }
-        FixedBaseTable { table, max_bits: windows * WINDOW }
+        FixedBaseTable { table, max_bits: windows * window, window }
     }
 
     /// Highest exponent bit width the table covers.
@@ -330,13 +337,19 @@ impl FixedBaseTable {
         self.max_bits
     }
 
-    /// The first window row: `base^d` for `d ∈ [1, 2^WINDOW)`.
+    /// The window width this table was built at (bits per digit).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The first window row: `base^d` for `d ∈ [1, 2^window)`.
     ///
-    /// This is exactly the digit table
+    /// For the default 4-bit window this is exactly the digit table
     /// [`multiexp::window_powers`](crate::multiexp::window_powers) would
-    /// build for the same base, so Straus joint exponentiation can borrow
-    /// it instead of recomputing (the generator side of a Schnorr
-    /// verification does this).
+    /// build for the same base (both call the shared
+    /// [`digit_powers`](crate::multiexp::digit_powers) helper), so Straus
+    /// joint exponentiation can borrow it instead of recomputing (the
+    /// generator side of a Schnorr verification does this).
     pub fn first_row(&self) -> &[MontElem] {
         &self.table[0]
     }
@@ -353,8 +366,8 @@ impl FixedBaseTable {
         let mut result: Option<MontElem> = None;
         for (w, row) in self.table.iter().enumerate() {
             let mut digit = 0usize;
-            for bit in (0..WINDOW).rev() {
-                digit = (digit << 1) | usize::from(exp.bit(w * WINDOW + bit));
+            for bit in (0..self.window).rev() {
+                digit = (digit << 1) | usize::from(exp.bit(w * self.window + bit));
             }
             if digit != 0 {
                 result = Some(match result {
@@ -462,6 +475,39 @@ mod tests {
         ] {
             assert_eq!(table.pow(&ctx, &e), ctx.modpow(&g, &e), "e={e:?}");
         }
+    }
+
+    #[test]
+    fn wide_window_table_matches_default_window() {
+        // The 8-bit batch-verification generator table must agree with
+        // the default 4-bit table (and the plain ctx pow) bit-for-bit.
+        let n = u("edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let g = ctx.to_montgomery(&Uint::from_u64(4));
+        let narrow = FixedBaseTable::from_mont(&ctx, &g, 256);
+        let wide = FixedBaseTable::from_mont_with_window(&ctx, &g, 256, 8);
+        assert_eq!(narrow.window(), WINDOW);
+        assert_eq!(wide.window(), 8);
+        for e in [
+            Uint::zero(),
+            Uint::one(),
+            Uint::from_u64(0xdead_beef),
+            u("76dc914f4efb9e5a7a520b7d802fbed74e657415695d35ac73f0e23f5e2cb784"),
+        ] {
+            assert_eq!(wide.pow_mont(&ctx, &e), narrow.pow_mont(&ctx, &e), "e={e:?}");
+            assert_eq!(wide.pow_mont(&ctx, &e), ctx.pow_mont(&g, &e), "e={e:?}");
+        }
+    }
+
+    #[test]
+    fn first_row_is_the_shared_digit_table() {
+        // Pins the dedup: the first Brauer row and the Straus digit table
+        // come from the same helper and stay interchangeable.
+        let n = u("76dc914f4efb9e5a7a520b7d802fbed74e657415695d35ac73f0e23f5e2cb785");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let base = ctx.to_montgomery(&u("1eadbeef1eadbeef1eadbeef1eadbeef"));
+        let table = FixedBaseTable::from_mont(&ctx, &base, 256);
+        assert_eq!(table.first_row(), crate::multiexp::window_powers(&ctx, &base));
     }
 
     #[test]

@@ -23,24 +23,38 @@
 use crate::montgomery::{MontElem, MontgomeryCtx, WINDOW};
 use crate::uint::Uint;
 
-/// The digit table for one base: `base^d` for `d ∈ [1, 2^WINDOW)`, in
-/// Montgomery form (`2^WINDOW - 1` entries; index `d - 1` holds `base^d`).
-pub fn window_powers(ctx: &MontgomeryCtx, base: &MontElem) -> Vec<MontElem> {
-    let mut powers = Vec::with_capacity((1 << WINDOW) - 1);
+/// The digit table for one base at an arbitrary window width: `base^d`
+/// for `d ∈ [1, 2^window)`, in Montgomery form (`2^window - 1` entries;
+/// index `d - 1` holds `base^d`).
+///
+/// This is the one shared builder behind every digit table in the crate:
+/// [`window_powers`] (Straus), each block row of a
+/// [`FixedBaseTable`](crate::FixedBaseTable) (Brauer), and the dense small
+/// tables the Pippenger path ([`crate::pippenger`]) degenerates to for
+/// tiny batches all call it rather than growing their own copy.
+pub fn digit_powers(ctx: &MontgomeryCtx, base: &MontElem, window: usize) -> Vec<MontElem> {
+    debug_assert!(window >= 1);
+    let mut powers = Vec::with_capacity((1 << window) - 1);
     powers.push(base.clone());
-    for d in 1..(1 << WINDOW) - 1 {
+    for d in 1..(1 << window) - 1 {
         let next = ctx.mul(&powers[d - 1], base);
         powers.push(next);
     }
     powers
 }
 
-/// Extract the `w`-th [`WINDOW`]-bit digit of `exp` (digit 0 is the least
+/// The digit table for one base: `base^d` for `d ∈ [1, 2^WINDOW)`, in
+/// Montgomery form (`2^WINDOW - 1` entries; index `d - 1` holds `base^d`).
+pub fn window_powers(ctx: &MontgomeryCtx, base: &MontElem) -> Vec<MontElem> {
+    digit_powers(ctx, base, WINDOW)
+}
+
+/// Extract the `w`-th `window`-bit digit of `exp` (digit 0 is the least
 /// significant).
-fn digit(exp: &Uint, w: usize) -> usize {
+pub(crate) fn digit(exp: &Uint, w: usize, window: usize) -> usize {
     let mut d = 0usize;
-    for bit in (0..WINDOW).rev() {
-        d = (d << 1) | usize::from(exp.bit(w * WINDOW + bit));
+    for bit in (0..window).rev() {
+        d = (d << 1) | usize::from(exp.bit(w * window + bit));
     }
     d
 }
@@ -75,7 +89,7 @@ pub fn joint_pow_with_powers(
             }
         }
         for (powers, exp) in [(a_powers, ae), (b_powers, be)] {
-            let d = digit(exp, w);
+            let d = digit(exp, w, WINDOW);
             if d != 0 {
                 result = Some(match result {
                     Some(r) => ctx.mul(&r, &powers[d - 1]),
@@ -181,6 +195,34 @@ mod tests {
             joint_modpow(&ctx, &a, &narrow, &b, &wide),
             reference(&ctx, &a, &narrow, &b, &wide)
         );
+    }
+
+    #[test]
+    fn digit_powers_matches_pre_dedup_construction() {
+        // Equivalence pin for the shared-helper refactor: the generalized
+        // digit_powers at WINDOW must reproduce the loop window_powers
+        // (and FixedBaseTable rows) used to carry inline.
+        let n = u("edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let base = ctx.to_montgomery(&u("ab3d485627ba6272e0f9c0a9ae435e247c91df81a1743c12a89eeaf8ef52878a"));
+        let mut legacy = Vec::with_capacity((1 << WINDOW) - 1);
+        legacy.push(base.clone());
+        for d in 1..(1 << WINDOW) - 1 {
+            let next = ctx.mul(&legacy[d - 1], &base);
+            legacy.push(next);
+        }
+        assert_eq!(digit_powers(&ctx, &base, WINDOW), legacy);
+        assert_eq!(window_powers(&ctx, &base), legacy);
+        // Narrow and wide widths have the right shape and contents.
+        for window in [1usize, 2, 5, 8] {
+            let powers = digit_powers(&ctx, &base, window);
+            assert_eq!(powers.len(), (1 << window) - 1);
+            let mut acc = base.clone();
+            for p in &powers {
+                assert_eq!(p, &acc);
+                acc = ctx.mul(&acc, &base);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Pippenger bucket-method multi-scalar exponentiation.
+//!
+//! Batch signature verification reduces to one product of many powers,
+//! `Π bᵢ^{eᵢ} mod n`. Evaluating the k exponentiations separately costs
+//! k full squaring chains; Straus interleaving (the two-base case lives
+//! in [`multiexp`](crate::multiexp)) shares one chain but still pays one
+//! table per base. Pippenger's bucket method drops the per-base tables
+//! entirely: walk all exponents top-down in `c`-bit digits, and per
+//! window throw each base whose digit is `d` into bucket `d` (one
+//! multiplication), then fold the buckets with the suffix-product trick
+//! (`Σ d·Bd` costs ~2 multiplications per bucket). Per window the work is
+//! `c` squarings + one multiplication per non-zero digit + `2^(c+1)`
+//! bucket folds — sublinear in k per bit once the window is sized to the
+//! batch.
+//!
+//! The window width comes from [`optimal_window`], minimizing the total
+//! multiplication count for the given batch size and exponent width.
+//! Tiny batches (k ≤ 2) degenerate to the existing single/joint
+//! exponentiation paths built on the shared
+//! [`digit_powers`](crate::multiexp::digit_powers) tables, so there is no
+//! crossover regime where the batch entry point is slower than calling
+//! the scalar one in a loop.
+//!
+//! Everything is exact integer arithmetic: results are bit-identical to
+//! multiplying k independent [`modpow`](crate::modpow) results, which the
+//! proptest suite (`crates/bignum/tests/pippenger_equiv.rs`) pins.
+
+use crate::montgomery::{MontElem, MontgomeryCtx};
+use crate::multiexp::{digit, joint_pow_mont};
+use crate::uint::Uint;
+
+/// Upper bound on the bucket window: `2^c` bucket folds per window grow
+/// exponentially, and batches large enough to want more than 12 bits are
+/// far beyond what one analysis flush produces.
+const MAX_WINDOW: usize = 12;
+
+/// The bucket window width (in bits) minimizing the multiplication count
+/// for `num_terms` bases with exponents up to `exp_bits` bits.
+///
+/// Cost model per window of width `c`: `c` squarings of the running
+/// result, at most one bucket multiplication per term, and `2·(2^c − 1)`
+/// multiplications to fold the buckets; there are `⌈exp_bits/c⌉` windows.
+pub fn optimal_window(num_terms: usize, exp_bits: usize) -> usize {
+    let bits = exp_bits.max(1) as u64;
+    let k = num_terms as u64;
+    let mut best = 1;
+    let mut best_cost = u64::MAX;
+    for c in 1..=MAX_WINDOW {
+        let windows = bits.div_ceil(c as u64);
+        let cost = windows * (c as u64 + k + 2 * ((1u64 << c) - 1));
+        if cost < best_cost {
+            best_cost = cost;
+            best = c;
+        }
+    }
+    best
+}
+
+/// `Π baseᵢ^{expᵢ}` in Montgomery form over the caller's pairs.
+///
+/// Empty products (no pairs, or all exponents zero) yield the Montgomery
+/// one. `k = 1` and `k = 2` fall through to
+/// [`MontgomeryCtx::pow_mont`] and [`joint_pow_mont`] respectively —
+/// bucket bookkeeping only pays for itself from three bases up.
+pub fn multi_pow_mont(ctx: &MontgomeryCtx, pairs: &[(&MontElem, &Uint)]) -> MontElem {
+    let bits = pairs.iter().map(|(_, e)| e.bit_len()).max().unwrap_or(0);
+    if bits == 0 {
+        return ctx.one();
+    }
+    match pairs {
+        [(base, exp)] => return ctx.pow_mont(base, exp),
+        [(a, ae), (b, be)] => return joint_pow_mont(ctx, a, ae, b, be),
+        _ => {}
+    }
+    let c = optimal_window(pairs.len(), bits);
+    let windows = bits.div_ceil(c);
+    let mut result: Option<MontElem> = None;
+    let mut buckets: Vec<Option<MontElem>> = vec![None; (1 << c) - 1];
+    for w in (0..windows).rev() {
+        if let Some(r) = result.as_mut() {
+            for _ in 0..c {
+                *r = ctx.square(r);
+            }
+        }
+        for b in buckets.iter_mut() {
+            *b = None;
+        }
+        for (base, exp) in pairs {
+            let d = digit(exp, w, c);
+            if d != 0 {
+                let slot = &mut buckets[d - 1];
+                *slot = Some(match slot.take() {
+                    Some(acc) => ctx.mul(&acc, base),
+                    None => (*base).clone(),
+                });
+            }
+        }
+        // Σ d·Bd via suffix products: running = Π_{d' ≥ d} Bd', and the
+        // window total is the product of every running value — bucket d
+        // ends up multiplied in exactly d times.
+        let mut running: Option<MontElem> = None;
+        let mut window_sum: Option<MontElem> = None;
+        for b in buckets.iter().rev() {
+            if let Some(b) = b {
+                running = Some(match running.take() {
+                    Some(r) => ctx.mul(&r, b),
+                    None => b.clone(),
+                });
+            }
+            if let Some(r) = &running {
+                window_sum = Some(match window_sum.take() {
+                    Some(s) => ctx.mul(&s, r),
+                    None => r.clone(),
+                });
+            }
+        }
+        if let Some(s) = window_sum {
+            result = Some(match result.take() {
+                Some(r) => ctx.mul(&r, &s),
+                None => s,
+            });
+        }
+    }
+    result.unwrap_or_else(|| ctx.one())
+}
+
+/// `Π baseᵢ^{expᵢ} mod n` with inputs and output in normal form
+/// (convenience wrapper for tests and callers outside a Montgomery
+/// pipeline).
+pub fn multi_modpow(ctx: &MontgomeryCtx, pairs: &[(Uint, Uint)]) -> Uint {
+    let mont: Vec<MontElem> = pairs.iter().map(|(b, _)| ctx.to_montgomery(b)).collect();
+    let borrowed: Vec<(&MontElem, &Uint)> = mont
+        .iter()
+        .zip(pairs.iter().map(|(_, e)| e))
+        .collect();
+    ctx.from_montgomery(&multi_pow_mont(ctx, &borrowed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(hex: &str) -> Uint {
+        Uint::from_hex(hex).unwrap()
+    }
+
+    fn reference(ctx: &MontgomeryCtx, pairs: &[(Uint, Uint)]) -> Uint {
+        let mut acc = Uint::one();
+        for (b, e) in pairs {
+            acc = acc.mul_mod(&ctx.modpow(b, e), ctx.modulus());
+        }
+        acc
+    }
+
+    #[test]
+    fn empty_and_degenerate_batches() {
+        let n = u("edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        assert_eq!(multi_modpow(&ctx, &[]), Uint::one());
+        // All-zero exponents: the empty product.
+        let zeros = vec![
+            (Uint::from_u64(7), Uint::zero()),
+            (Uint::from_u64(11), Uint::zero()),
+            (Uint::from_u64(13), Uint::zero()),
+        ];
+        assert_eq!(multi_modpow(&ctx, &zeros), Uint::one());
+        // k = 1 and k = 2 take the scalar / Straus paths.
+        let one = vec![(Uint::from_u64(7), u("deadbeefcafef00d"))];
+        assert_eq!(multi_modpow(&ctx, &one), reference(&ctx, &one));
+        let two = vec![
+            (Uint::from_u64(4), u("1eadbeef1eadbeef1eadbeef1eadbeef")),
+            (Uint::from_u64(9), u("aaaaaaaaaaaaaaaaaaaa")),
+        ];
+        assert_eq!(multi_modpow(&ctx, &two), reference(&ctx, &two));
+    }
+
+    #[test]
+    fn bucket_path_matches_separate_pows() {
+        let n = u("edb9229e9df73cb4f4a416fb005f7dae9ccae82ad2ba6b58e7e1c47ebc596f0b");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        // Mixed widths, repeated bases, and a zero exponent in the middle.
+        let pairs = vec![
+            (Uint::from_u64(4), u("76dc914f4efb9e5a7a520b7d802fbed74e657415695d35ac73f0e23f5e2cb784")),
+            (u("ab3d485627ba6272e0f9c0a9ae435e247c91df81a1743c12a89eeaf8ef52878a"), Uint::from_u64(3)),
+            (Uint::from_u64(4), Uint::zero()),
+            (Uint::from_u64(2), u("1234567890abcdef1234567890abcdef")),
+            (u("1eadbeef1eadbeef1eadbeef1eadbeef1eadbeef"), u("deadbeefcafef00d")),
+        ];
+        assert_eq!(multi_modpow(&ctx, &pairs), reference(&ctx, &pairs));
+    }
+
+    #[test]
+    fn batch_shaped_like_verification_coefficients() {
+        // 64 bases with 64-bit exponents — the exact shape the batch
+        // self-check produces (small deterministic coefficients).
+        let n = u("76dc914f4efb9e5a7a520b7d802fbed74e657415695d35ac73f0e23f5e2cb785");
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let mut pairs = Vec::new();
+        let mut b = Uint::from_u64(3);
+        let mut e = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..64 {
+            pairs.push((b.clone(), Uint::from_u64(e)));
+            b = b.mul_mod(&b, &n).add_mod(&Uint::one(), &n);
+            e = e.rotate_left(7) ^ 0xdead_beef_cafe_f00d;
+        }
+        assert_eq!(multi_modpow(&ctx, &pairs), reference(&ctx, &pairs));
+    }
+
+    #[test]
+    fn optimal_window_is_sane() {
+        for k in [1usize, 3, 16, 64, 256, 4096] {
+            for bits in [1usize, 64, 256, 1536] {
+                let c = optimal_window(k, bits);
+                assert!((1..=MAX_WINDOW).contains(&c), "k={k} bits={bits} c={c}");
+            }
+        }
+        // Bigger batches justify wider windows.
+        assert!(optimal_window(4096, 256) >= optimal_window(4, 256));
+    }
+}

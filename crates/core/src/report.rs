@@ -151,6 +151,17 @@ pub fn render_cache_stats(stats: &crate::topology::CacheStats) -> String {
             group_thousands(stats.tables_built as usize),
         );
     }
+    // Batched-verification breakdown, suffix-only for the same reason:
+    // renders with no batch activity (CCC_VERIFY_BATCH=off, or callers
+    // that never prefetch) stay byte-identical to historical output.
+    if stats.batched_verifies > 0 || stats.batch_flushes > 0 {
+        let _ = write!(
+            line,
+            "; batched: {} checks in {} flushes",
+            group_thousands(stats.batched_verifies as usize),
+            group_thousands(stats.batch_flushes as usize),
+        );
+    }
     line
 }
 
@@ -295,11 +306,38 @@ mod tests {
             cold_multiexps: 8,
             tables_built: 2,
             entries: 60,
+            ..Default::default()
         };
         let line = render_cache_stats(&stats);
         assert!(
             line.ends_with("verify routes: 52 table hits, 8 cold multi-exps, 2 tables built"),
             "{line}"
         );
+    }
+
+    #[test]
+    fn cache_stats_line_with_batching() {
+        let stats = crate::topology::CacheStats {
+            lookups: 1200,
+            hits: 200,
+            misses: 1000,
+            verifications: 1000,
+            batched_verifies: 960,
+            batch_flushes: 40,
+            entries: 1000,
+            ..Default::default()
+        };
+        let line = render_cache_stats(&stats);
+        assert!(
+            line.ends_with("; batched: 960 checks in 40 flushes"),
+            "{line}"
+        );
+        // The suffix disappears entirely with zero batch activity.
+        let quiet = crate::topology::CacheStats {
+            batched_verifies: 0,
+            batch_flushes: 0,
+            ..stats
+        };
+        assert!(!render_cache_stats(&quiet).contains("batched"));
     }
 }

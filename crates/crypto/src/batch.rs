@@ -1,0 +1,481 @@
+//! Batched Schnorr verification.
+//!
+//! The scheme's hash variant transmits `(e, s)` and recomputes
+//! `r̃ = g^s · y^(q−e) mod p`, accepting iff `SHA-256(r̃ ‖ m) == e` — the
+//! commitment `r` itself never travels, so the textbook "one combined
+//! exponentiation for the whole batch" shape does not apply directly:
+//! each item's residue must be materialized to hash it. Batching instead
+//! attacks the *arithmetic* around those residues, in two layers:
+//!
+//! 1. **Fast per-item candidates.** Every batched check exponentiates the
+//!    same generator, so the `g^s` half runs on a process-wide 8-bit-window
+//!    [`FixedBaseTable`](ccc_bignum::FixedBaseTable) (half the lookups of
+//!    the 4-bit per-key tables) while the `y^(q−e)` half keeps the PR 7
+//!    routing — the key's interned table when hot, Straus when cold — with
+//!    hot/cold decided by the same promotion ordinal rule as
+//!    [`PublicKey::verify`], so the split stays schedule-independent.
+//!    Keys that batching hits persistently (past
+//!    `WIDE_PROMOTION_THRESHOLD` batched checks) additionally promote to
+//!    a wide 8-bit per-key table, halving the `y` lookups too.
+//! 2. **An aggregate self-check.** With per-item coefficients `cᵢ` the
+//!    identity `Π r̃ᵢ^{cᵢ} == g^{Σcᵢsᵢ} · Π_y y^{Σcᵢ(q−eᵢ)}` holds exactly
+//!    when every candidate was computed correctly (a Bellare–Garay–Rabin
+//!    small-exponents test over the *computed* residues). One Pippenger
+//!    multi-exponentiation ([`multi_pow_mont`]) checks the whole batch;
+//!    on mismatch, bisection recomputes the offending items through the
+//!    plain square-and-multiply reference route, so verdicts are identical
+//!    to per-signature verification *by construction* — the aggregate can
+//!    only ever trigger extra work, never a different answer.
+//!
+//! The coefficients come deterministically from a SHA-256 transcript of
+//! the whole batch (no RNG — thread-count bit-identity is a standing
+//! invariant of this workspace). Forged signatures do **not** trip the
+//! self-check: a bad `(e, s)` still yields a correctly-computed candidate
+//! that simply fails its hash equation, exactly as in the scalar path.
+//! Keys outside the order-`q` subgroup (parsing is deliberately
+//! permissive) are excluded from the aggregate — the identity's mod-`q`
+//! exponent folding assumes order `q` — and rest on their per-item
+//! computation alone. See DESIGN.md §16 for the math and the threat-model
+//! discussion of small-coefficient forgery.
+
+use crate::intern::{
+    self, verify_batch_policy, verify_table_policy, BatchPolicy, InternedKey, TablePolicy,
+    PROMOTION_THRESHOLD, WIDE_PROMOTION_THRESHOLD,
+};
+use crate::schnorr::{Group, GroupId, PublicKey, Signature};
+use crate::sha256::Sha256;
+use ccc_bignum::{joint_pow_with_powers, multi_pow_mont, window_powers, MontElem, MontgomeryCtx, Uint};
+use std::sync::Arc;
+
+/// One batched check: verify `signature` over `message` under `key`.
+pub type BatchItem<'a> = (&'a PublicKey, &'a [u8], &'a Signature);
+
+/// The result of one [`verify_batch`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Per-item verdicts, index-aligned with the input slice; always
+    /// identical to calling [`PublicKey::verify`] item by item.
+    pub verdicts: Vec<bool>,
+    /// Indices of rejected items (`verdicts[i] == false`), ascending.
+    pub invalid: Vec<usize>,
+    /// Indices whose candidate residue failed the aggregate self-check
+    /// and was recomputed through the reference route (ascending). Empty
+    /// unless the fast arithmetic drifted — i.e. always empty outside
+    /// fault-injection tests.
+    pub healed: Vec<usize>,
+}
+
+/// Internal per-item state for an in-range, parseable batched check.
+struct Pending<'a> {
+    /// Position in the caller's item slice.
+    index: usize,
+    group: &'static Group,
+    entry: Arc<InternedKey>,
+    s: Uint,
+    neg_e: Uint,
+    /// The computed residue candidate `g^s · y^(q−e)`.
+    candidate: MontElem,
+    /// Transcript coefficient `cᵢ` (32-bit, non-zero).
+    coeff: Uint,
+    message: &'a [u8],
+    e: &'a [u8; 32],
+}
+
+/// Verify a batch of Schnorr checks, returning per-item verdicts that are
+/// always identical to per-signature [`PublicKey::verify`] calls.
+///
+/// Each item is recorded on its key's promotion counter exactly like a
+/// scalar verification, so batching never changes hot/cold routing for
+/// later checks. Under [`BatchPolicy::Off`] (`CCC_VERIFY_BATCH=off`) this
+/// degenerates to a per-item `verify` loop. Mixed-group batches are
+/// supported; the aggregate self-check runs per group.
+pub fn verify_batch(items: &[BatchItem<'_>]) -> BatchOutcome {
+    verify_batch_impl(items, &[])
+}
+
+/// Test scaffolding: [`verify_batch`] with the candidate residues at
+/// `fault_indices` deliberately corrupted before the aggregate self-check
+/// runs, so tests can pin that bisection localizes and heals exactly the
+/// injected indices. Not part of the public API.
+#[doc(hidden)]
+pub fn verify_batch_with_fault(items: &[BatchItem<'_>], fault_indices: &[usize]) -> BatchOutcome {
+    verify_batch_impl(items, fault_indices)
+}
+
+/// Batches below this size skip the aggregate self-check under
+/// [`BatchPolicy::Auto`]: the Pippenger pass costs ~(32/window)·k bucket
+/// multiplications just to fill windows, which only amortizes below the
+/// per-signature hot route once a few dozen items share the per-window
+/// squarings and bucket combines (measured crossover ≈ 32 on the
+/// snapshot host; see BENCH_batch.json). `On` always runs the aggregate
+/// so tests can exercise it at any size.
+const AGGREGATE_MIN: usize = 32;
+
+fn verify_batch_impl(items: &[BatchItem<'_>], fault: &[usize]) -> BatchOutcome {
+    // Fault injection needs the aggregate to have something to localize,
+    // so the test hook upgrades Auto to On (bypassing AGGREGATE_MIN);
+    // an explicit Off still degrades to the scalar loop, which the
+    // policy tests pin.
+    let policy = match verify_batch_policy() {
+        BatchPolicy::Auto if !fault.is_empty() => BatchPolicy::On,
+        p => p,
+    };
+    if policy == BatchPolicy::Off || items.is_empty() {
+        // The pre-batching behavior, verbatim: one scalar verify per item.
+        let verdicts: Vec<bool> = items
+            .iter()
+            .map(|(key, message, signature)| key.verify(message, signature))
+            .collect();
+        return outcome(verdicts, Vec::new());
+    }
+    intern::note_batch_flush();
+    intern::note_batched(items.len() as u64);
+
+    // Wide per-key tables only pay for themselves at batch scale, so
+    // only aggregate-sized flushes drive promotion: the pipeline's
+    // small deferred flushes never trigger a ~16×-sized build mid-sweep,
+    // but once a key's table exists every flush uses it.
+    let wide_eligible = items.len() >= AGGREGATE_MIN;
+    let table_policy = verify_table_policy();
+    let mut verdicts = vec![false; items.len()];
+    let mut pendings: Vec<Pending<'_>> = Vec::with_capacity(items.len());
+    for (index, (key, message, signature)) in items.iter().enumerate() {
+        let group = key.group();
+        let entry = Arc::clone(key.interned());
+        let n = entry.record_verify();
+        let nb = entry.record_batched();
+        // The scalar path's early rejections, in the same order: these
+        // items stay `false` and carry no candidate (nothing to check).
+        if signature.s.len() != group.scalar_len {
+            continue;
+        }
+        let s = Uint::from_bytes_be(&signature.s);
+        if s >= group.q {
+            continue;
+        }
+        let e_scalar = Uint::from_bytes_be(&signature.e)
+            .rem(&group.q)
+            .expect("q is non-zero");
+        let neg_e = group.q.checked_sub(&e_scalar).expect("e_scalar < q");
+        let ops = group.ops();
+        let hot = match table_policy {
+            TablePolicy::Always => true,
+            TablePolicy::Never => false,
+            TablePolicy::Auto => n > PROMOTION_THRESHOLD,
+        };
+        let candidate = if hot {
+            // Hot: wide shared generator table + the key's interned
+            // table — upgraded to the wide per-key table once this key's
+            // batched ordinal clears the promotion threshold (same
+            // value either way; the wide table just halves the lookups).
+            let gs = ops.g_wide_table(group.q.bit_len()).pow_mont(&ops.ctx, &s);
+            let y_pow = if entry.has_wide_table()
+                || (wide_eligible && nb > WIDE_PROMOTION_THRESHOLD)
+            {
+                entry
+                    .wide_table(&ops.ctx, group.q.bit_len())
+                    .pow_mont(&ops.ctx, &neg_e)
+            } else {
+                entry
+                    .table(&ops.ctx, group.q.bit_len())
+                    .pow_mont(&ops.ctx, &neg_e)
+            };
+            ops.ctx.mul(&gs, &y_pow)
+        } else {
+            // Cold: the scalar path's Straus joint exponentiation.
+            joint_pow_with_powers(
+                &ops.ctx,
+                ops.g_table.first_row(),
+                &s,
+                &window_powers(&ops.ctx, entry.y_mont()),
+                &neg_e,
+            )
+        };
+        verdicts[index] = accepts(group, &ops.ctx, &candidate, message, &signature.e);
+        pendings.push(Pending {
+            index,
+            group,
+            entry,
+            s,
+            neg_e,
+            candidate,
+            coeff: Uint::zero(),
+            message,
+            e: &signature.e,
+        });
+    }
+
+    // Fault injection (tests only): corrupt the requested candidates so
+    // the self-check below has something real to localize.
+    for &fi in fault {
+        if let Some(p) = pendings.iter_mut().find(|p| p.index == fi) {
+            let ops = p.group.ops();
+            p.candidate = ops.ctx.mul(&p.candidate, &ops.g_table.first_row()[0]);
+            verdicts[p.index] = accepts(p.group, &ops.ctx, &p.candidate, p.message, p.e);
+        }
+    }
+
+    // Aggregate self-check, per group, over keys the identity's mod-q
+    // exponent folding is valid for (order-q subgroup members). The
+    // transcript coefficients are only derived once some group actually
+    // aggregates — hashing every item's message on a flush that skips
+    // the aggregate (the pipeline's small deferred flushes) would cost
+    // more than the flush saves.
+    let mut healed = Vec::new();
+    let mut coeffs_derived = false;
+    for gid in [GroupId::Sim256, GroupId::Rfc3526_1536] {
+        let idx: Vec<usize> = pendings
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.group.id == gid && p.entry.is_subgroup_member())
+            .map(|(j, _)| j)
+            .collect();
+        // Small aggregates cost more than the candidates they guard
+        // (see AGGREGATE_MIN), so Auto skips them; On keeps even a
+        // singleton aggregate for coverage.
+        let min_len = if policy == BatchPolicy::On {
+            1
+        } else {
+            AGGREGATE_MIN
+        };
+        if idx.len() < min_len {
+            continue;
+        }
+        if !coeffs_derived {
+            // Deterministic per-item coefficients from the batch
+            // transcript (a pure function of the batch contents, so the
+            // laziness cannot introduce schedule dependence).
+            let root = transcript_root(items);
+            let coeffs = derive_coefficients(&root, items.len());
+            for p in pendings.iter_mut() {
+                p.coeff = Uint::from_u64(u64::from(coeffs[p.index]));
+            }
+            coeffs_derived = true;
+        }
+        if !check_indices(&pendings, &idx) {
+            bisect(&mut pendings, &idx, &mut verdicts, &mut healed);
+        }
+    }
+    healed.sort_unstable();
+    outcome(verdicts, healed)
+}
+
+fn outcome(verdicts: Vec<bool>, healed: Vec<usize>) -> BatchOutcome {
+    let invalid = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !**v)
+        .map(|(i, _)| i)
+        .collect();
+    BatchOutcome {
+        verdicts,
+        invalid,
+        healed,
+    }
+}
+
+/// The scalar path's acceptance equation: `SHA-256(r̃ ‖ m) == e`.
+fn accepts(
+    group: &Group,
+    ctx: &MontgomeryCtx,
+    candidate: &MontElem,
+    message: &[u8],
+    e: &[u8; 32],
+) -> bool {
+    let r = ctx.from_montgomery(candidate);
+    let r_bytes = match r.to_bytes_be_padded(group.element_len) {
+        Some(b) => b,
+        None => return false,
+    };
+    let mut h = Sha256::new();
+    h.update(&r_bytes);
+    h.update(message);
+    h.finalize() == *e
+}
+
+/// SHA-256 transcript of the whole batch: domain tag, item count, then
+/// each item's group tag and challenge. Coefficients derive from this
+/// root, so they are a pure function of the batch contents — no RNG,
+/// bit-identical on every thread schedule. The message, key, and
+/// response bytes stay out of the transcript: `e = SHA-256(r ‖ m)` is
+/// itself a binding digest of the commitment and message, which gives
+/// the root all the per-batch variation drift detection needs, and the
+/// aggregate is a self-check on our own arithmetic, not a defense
+/// against chosen inputs (DESIGN.md §16) — so absorbing kilobytes of
+/// TBS DER and 192-byte key material per flush would buy nothing.
+fn transcript_root(items: &[BatchItem<'_>]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"ccc-batch-v1");
+    h.update(&(items.len() as u64).to_le_bytes());
+    for (key, _message, signature) in items {
+        h.update(&[match key.group_id() {
+            GroupId::Sim256 => 1,
+            GroupId::Rfc3526_1536 => 2,
+        }]);
+        h.update(&signature.e);
+    }
+    h.finalize()
+}
+
+/// Derive the aggregate coefficients `c₀ … c_{n−1}` from the transcript
+/// root in counter mode: each `SHA-256(root ‖ block)` digest yields
+/// eight 32-bit coefficients, so derivation hashes ⌈n/8⌉ blocks instead
+/// of one per item. Coefficients are forced non-zero so no item drops
+/// out of the check. 32 bits keeps the Pippenger pass at half the
+/// window count of 64-bit coefficients while still missing an
+/// arithmetic drift with probability only 2⁻³² per run — this is a
+/// self-check on our own computation, not a defense against adversarial
+/// forgery (see the module docs and DESIGN.md §16).
+fn derive_coefficients(root: &[u8; 32], n: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n);
+    for block in 0..n.div_ceil(8) {
+        let mut h = Sha256::new();
+        h.update(root);
+        h.update(&(block as u64).to_le_bytes());
+        let digest = h.finalize();
+        for word in digest.chunks_exact(4).take(n - out.len()) {
+            let c = u32::from_be_bytes(word.try_into().expect("4 digest bytes"));
+            out.push(if c == 0 { 1 } else { c });
+        }
+    }
+    out
+}
+
+/// Evaluate the aggregate identity over the pendings selected by `idx`
+/// (all one group): `Π r̃ᵢ^{cᵢ} == g^{Σcᵢsᵢ mod q} · Π_y y^{Σcᵢ(q−eᵢ) mod q}`.
+fn check_indices(pendings: &[Pending<'_>], idx: &[usize]) -> bool {
+    let group = pendings[idx[0]].group;
+    let ops = group.ops();
+    let lhs_pairs: Vec<(&MontElem, &Uint)> = idx
+        .iter()
+        .map(|&j| (&pendings[j].candidate, &pendings[j].coeff))
+        .collect();
+    let lhs = multi_pow_mont(&ops.ctx, &lhs_pairs);
+
+    let mut s_sum = Uint::zero();
+    // Distinct keys in first-appearance order (a batch has few), each
+    // with its folded exponent: (representative pending index, Σ cᵢ(q−eᵢ)).
+    // The sums accumulate *unreduced* — coefficients are 32-bit, so even
+    // thousands of 288-bit products stay tiny for an arbitrary-precision
+    // `Uint` — and fold mod `q` once per exponent below: one Knuth-D
+    // division per exponent instead of four per item.
+    let mut y_terms: Vec<(usize, Uint)> = Vec::new();
+    for &j in idx {
+        let p = &pendings[j];
+        s_sum = s_sum.add(&p.coeff.mul(&p.s));
+        let term = p.coeff.mul(&p.neg_e);
+        match y_terms
+            .iter_mut()
+            .find(|(r, _)| Arc::ptr_eq(&pendings[*r].entry, &p.entry))
+        {
+            Some((_, sum)) => *sum = sum.add(&term),
+            None => y_terms.push((j, term)),
+        }
+    }
+    let s_sum = s_sum.rem(&group.q).expect("q is non-zero");
+    let mut rhs = ops.g_wide_table(group.q.bit_len()).pow_mont(&ops.ctx, &s_sum);
+    for (r, sum) in &y_terms {
+        let sum = &sum.rem(&group.q).expect("q is non-zero");
+        let entry = &pendings[*r].entry;
+        // Use the key's tables only if they already exist: the aggregate
+        // must not trigger promotions (CCC_VERIFY_TABLES=never stays
+        // table-free inside batches).
+        let y_pow = if entry.has_wide_table() {
+            entry
+                .wide_table(&ops.ctx, group.q.bit_len())
+                .pow_mont(&ops.ctx, sum)
+        } else if entry.has_table() {
+            entry
+                .table(&ops.ctx, group.q.bit_len())
+                .pow_mont(&ops.ctx, sum)
+        } else {
+            ops.ctx.pow_mont(entry.y_mont(), sum)
+        };
+        rhs = ops.ctx.mul(&rhs, &y_pow);
+    }
+    lhs == rhs
+}
+
+/// Localize an aggregate mismatch: split the index set, recurse into
+/// failing halves, and at single-item leaves recompute the candidate via
+/// the plain square-and-multiply reference route, repairing the verdict
+/// if the fast arithmetic had drifted. The identity is linear, so any
+/// subset that satisfies it is consistent and can be skipped; if a set
+/// fails, at least one half fails.
+fn bisect(
+    pendings: &mut [Pending<'_>],
+    idx: &[usize],
+    verdicts: &mut [bool],
+    healed: &mut Vec<usize>,
+) {
+    if let [j] = idx {
+        let p = &mut pendings[*j];
+        let ops = p.group.ops();
+        let reference = ops.ctx.mul(
+            &ops.ctx.pow_mont(&ops.g_table.first_row()[0], &p.s),
+            &ops.ctx.pow_mont(p.entry.y_mont(), &p.neg_e),
+        );
+        if reference != p.candidate {
+            p.candidate = reference;
+            verdicts[p.index] = accepts(p.group, &ops.ctx, &p.candidate, p.message, p.e);
+            healed.push(p.index);
+        }
+        return;
+    }
+    let (lo, hi) = idx.split_at(idx.len() / 2);
+    for half in [lo, hi] {
+        if !half.is_empty() && !check_indices(pendings, half) {
+            bisect(pendings, half, verdicts, healed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::KeyPair;
+
+    #[test]
+    fn batch_accepts_valid_and_rejects_forged() {
+        let group = Group::simulation_256();
+        let ca = KeyPair::from_seed(group, b"batch-unit-ca");
+        let messages: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 40]).collect();
+        let mut sigs: Vec<Signature> = messages.iter().map(|m| ca.private.sign(m)).collect();
+        sigs[2].e[0] ^= 1; // forged challenge
+        sigs[4].s.truncate(10); // wrong length
+        let items: Vec<BatchItem<'_>> = messages
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (&ca.public, m.as_slice(), s))
+            .collect();
+        let out = verify_batch(&items);
+        assert_eq!(out.verdicts, vec![true, true, false, true, false, true]);
+        assert_eq!(out.invalid, vec![2, 4]);
+        assert!(out.healed.is_empty());
+    }
+
+    #[test]
+    fn injected_faults_are_localized_and_healed() {
+        let group = Group::simulation_256();
+        let ca = KeyPair::from_seed(group, b"batch-unit-fault-ca");
+        let messages: Vec<Vec<u8>> = (0..8u8).map(|i| vec![0x40 | i; 33]).collect();
+        let sigs: Vec<Signature> = messages.iter().map(|m| ca.private.sign(m)).collect();
+        let items: Vec<BatchItem<'_>> = messages
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (&ca.public, m.as_slice(), s))
+            .collect();
+        let out = verify_batch_with_fault(&items, &[1, 5]);
+        // Healing restores the exact per-signature verdicts.
+        assert_eq!(out.verdicts, vec![true; 8]);
+        assert_eq!(out.healed, vec![1, 5]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let out = verify_batch(&[]);
+        assert!(out.verdicts.is_empty());
+        assert!(out.invalid.is_empty());
+        assert!(out.healed.is_empty());
+    }
+}

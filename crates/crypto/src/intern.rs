@@ -31,7 +31,7 @@
 //! per-key `fetch_add`, so exactly `min(threshold, V)` of a key's `V`
 //! verifications go cold no matter how threads interleave.
 
-use crate::schnorr::{Group, GroupId};
+use crate::schnorr::{Group, GroupId, WIDE_WINDOW};
 use crate::sha256::Sha256;
 use ccc_bignum::{FixedBaseTable, MontElem, MontgomeryCtx};
 // Sync primitives come from the ccc-mc shim layer: plain std re-exports
@@ -48,6 +48,15 @@ use std::sync::Arc;
 /// fixed-base table is built and every later verification under that key
 /// is two table lookups and a multiplication.
 pub const PROMOTION_THRESHOLD: u64 = 3;
+
+/// Batched-verification promotion threshold: after this many *batched*
+/// checks under one key, `verify_batch` upgrades the key's `y^(q−e)`
+/// half from the 4-bit table to a wide 8-bit one ([`InternedKey::
+/// wide_table`]), halving its lookups the same way the shared wide
+/// generator table halves `g^s`. The wide build is ~16× the narrow one
+/// (~260 KiB at 256 bits, ~9.4 MiB at 1536), so only keys that batching
+/// hits persistently — CA keys in a corpus sweep — ever pay it.
+pub const WIDE_PROMOTION_THRESHOLD: u64 = 32;
 
 /// When to build per-key fixed-base tables for the verify hot path.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -120,9 +129,83 @@ pub fn set_verify_table_policy(policy: TablePolicy) {
     POLICY.store(raw, Ordering::Relaxed);
 }
 
+/// When batched verification (`ccc_crypto::verify_batch`, and the
+/// deferred prefetch built on it in `ccc-core`) is active.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchPolicy {
+    /// Batch whenever a caller hands over checks; batches below the
+    /// aggregate threshold skip the aggregate self-check, whose
+    /// Pippenger pass cannot amortize there (the default).
+    Auto,
+    /// Batch always, running the aggregate self-check even for
+    /// single-item batches (maximal exercise of the batch machinery).
+    On,
+    /// Never batch: `verify_batch` degenerates to a per-signature
+    /// `verify` loop and the deferred prefetch disables itself, so
+    /// batching can be bisected out of any regression.
+    Off,
+}
+
+const BATCH_AUTO: u8 = 0;
+const BATCH_ON: u8 = 1;
+const BATCH_OFF: u8 = 2;
+const BATCH_UNSET: u8 = 3;
+
+/// Current batch policy, lazily initialized from `CCC_VERIFY_BATCH`.
+///
+/// Same raw-`std` justification as [`POLICY`] above (the allowlist entry
+/// covers this file): configuration read once before workloads start.
+static BATCH_POLICY: AtomicU8 = AtomicU8::new(BATCH_UNSET);
+
+/// The active batch policy: the last [`set_verify_batch_policy`] value,
+/// else `CCC_VERIFY_BATCH` (`on` | `off` | anything-else = auto), else
+/// [`BatchPolicy::Auto`].
+pub fn verify_batch_policy() -> BatchPolicy {
+    // ordering: Relaxed — standalone configuration byte, exactly like
+    // POLICY above; the CAS only arbitrates the first-write race.
+    let raw = match BATCH_POLICY.load(Ordering::Relaxed) {
+        BATCH_UNSET => {
+            let parsed = match std::env::var("CCC_VERIFY_BATCH").as_deref() {
+                Ok("on") => BATCH_ON,
+                Ok("off") => BATCH_OFF,
+                _ => BATCH_AUTO,
+            };
+            // ordering: Relaxed/Relaxed — guards only this byte; losing
+            // the race and re-reading is the intended path.
+            let _ = BATCH_POLICY.compare_exchange(
+                BATCH_UNSET,
+                parsed,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            BATCH_POLICY.load(Ordering::Relaxed)
+        }
+        raw => raw,
+    };
+    match raw {
+        BATCH_ON => BatchPolicy::On,
+        BATCH_OFF => BatchPolicy::Off,
+        _ => BatchPolicy::Auto,
+    }
+}
+
+/// Override the batch policy for this process (benches and in-process
+/// A/B comparisons; normal callers configure `CCC_VERIFY_BATCH`).
+pub fn set_verify_batch_policy(policy: BatchPolicy) {
+    let raw = match policy {
+        BatchPolicy::Auto => BATCH_AUTO,
+        BatchPolicy::On => BATCH_ON,
+        BatchPolicy::Off => BATCH_OFF,
+    };
+    // ordering: Relaxed — single-byte flag, no dependent data (see load).
+    BATCH_POLICY.store(raw, Ordering::Relaxed);
+}
+
 static FIXED_BASE_HITS: AtomicU64 = AtomicU64::new(0);
 static COLD_MULTIEXPS: AtomicU64 = AtomicU64::new(0);
 static TABLES_BUILT: AtomicU64 = AtomicU64::new(0);
+static BATCHED_VERIFIES: AtomicU64 = AtomicU64::new(0);
+static BATCH_FLUSHES: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide verify-route counters (monotonic; meaningful as deltas
 /// around a workload, like `keypair_derivations`).
@@ -132,9 +215,17 @@ pub struct VerifyRouteStats {
     pub fixed_base_hits: u64,
     /// Verifications that took the cold route (Straus joint multi-exp).
     pub cold_multiexps: u64,
-    /// Per-key fixed-base tables built (≤ interned keys; each at most
-    /// once per process).
+    /// Per-key fixed-base tables built — narrow (hot route) and wide
+    /// (batched route) count alike; each kind at most once per key per
+    /// process.
     pub tables_built: u64,
+    /// Signature checks performed inside `verify_batch` (each also
+    /// recorded on its key's promotion counter, but routed through the
+    /// batch arithmetic rather than the per-signature hot/cold paths).
+    pub batched_verifies: u64,
+    /// `verify_batch` invocations that actually batched (non-empty, and
+    /// batching not forced off).
+    pub batch_flushes: u64,
 }
 
 impl VerifyRouteStats {
@@ -144,6 +235,10 @@ impl VerifyRouteStats {
             fixed_base_hits: self.fixed_base_hits.saturating_sub(earlier.fixed_base_hits),
             cold_multiexps: self.cold_multiexps.saturating_sub(earlier.cold_multiexps),
             tables_built: self.tables_built.saturating_sub(earlier.tables_built),
+            batched_verifies: self
+                .batched_verifies
+                .saturating_sub(earlier.batched_verifies),
+            batch_flushes: self.batch_flushes.saturating_sub(earlier.batch_flushes),
         }
     }
 }
@@ -157,6 +252,8 @@ pub fn verify_route_stats() -> VerifyRouteStats {
         fixed_base_hits: FIXED_BASE_HITS.load(Ordering::Relaxed),
         cold_multiexps: COLD_MULTIEXPS.load(Ordering::Relaxed),
         tables_built: TABLES_BUILT.load(Ordering::Relaxed),
+        batched_verifies: BATCHED_VERIFIES.load(Ordering::Relaxed),
+        batch_flushes: BATCH_FLUSHES.load(Ordering::Relaxed),
     }
 }
 
@@ -173,6 +270,16 @@ pub(crate) fn note_cold_multiexp() {
     COLD_MULTIEXPS.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn note_batched(n: u64) {
+    // ordering: Relaxed — same monotonic-counter argument as above.
+    BATCHED_VERIFIES.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn note_batch_flush() {
+    // ordering: Relaxed — same monotonic-counter argument as above.
+    BATCH_FLUSHES.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Shared per-`(group, y)` verification state, interned once per process.
 #[derive(Debug)]
 pub struct InternedKey {
@@ -181,8 +288,14 @@ pub struct InternedKey {
     y_mont: MontElem,
     /// Verifications observed under this key (drives Auto promotion).
     verifies: AtomicU64,
+    /// Batched verifications observed under this key (drives wide-table
+    /// promotion inside `verify_batch`).
+    batched: AtomicU64,
     /// Brauer fixed-base table for `y`, built at most once (hot route).
     table: OnceLock<FixedBaseTable>,
+    /// Wide (8-bit-window) fixed-base table for `y`, built at most once
+    /// for keys past [`WIDE_PROMOTION_THRESHOLD`] batched checks.
+    wide_table: OnceLock<FixedBaseTable>,
     /// Cached order-`q` subgroup membership verdict (`y^q == 1 mod p`).
     subgroup_member: OnceLock<bool>,
 }
@@ -217,9 +330,25 @@ impl InternedKey {
         self.verifies.load(Ordering::Relaxed)
     }
 
+    /// Record one *batched* verification under this key; returns the
+    /// 1-based sequence number, which decides wide-table promotion the
+    /// same schedule-independent way [`record_verify`](Self::record_verify)
+    /// decides hot/cold routing.
+    pub fn record_batched(&self) -> u64 {
+        // ordering: Relaxed — same unique-ordinal argument as
+        // record_verify: only the RMW's atomicity matters, no other
+        // memory is published through the counter.
+        self.batched.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Whether the hot-route table has been built.
     pub fn has_table(&self) -> bool {
         self.table.get().is_some()
+    }
+
+    /// Whether the wide batched-route table has been built.
+    pub fn has_wide_table(&self) -> bool {
+        self.wide_table.get().is_some()
     }
 
     /// The per-key fixed-base table, built on first use (counted in
@@ -233,6 +362,20 @@ impl InternedKey {
             // table_promotion_builds_exactly_once).
             TABLES_BUILT.fetch_add(1, Ordering::Relaxed);
             FixedBaseTable::from_mont(ctx, &self.y_mont, max_exp_bits)
+        })
+    }
+
+    /// The wide (8-bit-window) per-key table for heavily-batched keys,
+    /// built on first use (also counted in
+    /// [`VerifyRouteStats::tables_built`]; concurrent callers coalesce
+    /// on the `OnceLock`). Callers gate on
+    /// [`WIDE_PROMOTION_THRESHOLD`]; this method itself always builds.
+    pub fn wide_table(&self, ctx: &MontgomeryCtx, max_exp_bits: usize) -> &FixedBaseTable {
+        self.wide_table.get_or_init(|| {
+            // ordering: Relaxed — counts initializer executions, exactly
+            // like the narrow table() above.
+            TABLES_BUILT.fetch_add(1, Ordering::Relaxed);
+            FixedBaseTable::from_mont_with_window(ctx, &self.y_mont, max_exp_bits, WIDE_WINDOW)
         })
     }
 
@@ -325,7 +468,9 @@ impl KeyRegistry {
                     .ctx
                     .to_montgomery(&ccc_bignum::Uint::from_bytes_be(y_bytes)),
                 verifies: AtomicU64::new(0),
+                batched: AtomicU64::new(0),
                 table: OnceLock::new(),
+                wide_table: OnceLock::new(),
                 subgroup_member: OnceLock::new(),
             })
         }))
@@ -431,5 +576,15 @@ mod tests {
         assert_eq!(verify_table_policy(), TablePolicy::Always);
         set_verify_table_policy(TablePolicy::Auto);
         assert_eq!(verify_table_policy(), TablePolicy::Auto);
+    }
+
+    #[test]
+    fn batch_policy_roundtrip() {
+        set_verify_batch_policy(BatchPolicy::Off);
+        assert_eq!(verify_batch_policy(), BatchPolicy::Off);
+        set_verify_batch_policy(BatchPolicy::On);
+        assert_eq!(verify_batch_policy(), BatchPolicy::On);
+        set_verify_batch_policy(BatchPolicy::Auto);
+        assert_eq!(verify_batch_policy(), BatchPolicy::Auto);
     }
 }

@@ -1,0 +1,193 @@
+//! Differential equivalence: `verify_batch` vs per-signature `verify`.
+//!
+//! Batch verdicts must be identical to scalar verdicts over arbitrary
+//! corpora — valid signatures, forged challenges and responses,
+//! truncated and out-of-range responses, wrong-key signatures, and keys
+//! outside the order-`q` subgroup (which the aggregate self-check must
+//! exclude rather than mis-verify). The fault-injection hook pins that
+//! bisection heals exactly the corrupted indices and nothing else.
+//!
+//! Policy mutations (`Off`/`On`) live in one sequential test: the other
+//! tests' assertions (verdict equality, no healing without faults) hold
+//! under every policy, so a transient override racing them is harmless.
+
+use ccc_crypto::batch::{verify_batch, verify_batch_with_fault, BatchItem};
+use ccc_bignum::Uint;
+use ccc_crypto::{set_verify_batch_policy, BatchPolicy, Group, KeyPair, PublicKey, Signature};
+use proptest::prelude::*;
+
+/// The deterministic signer pool (few CA keys signing many certs, like a
+/// real corpus).
+fn signers(group: &'static Group) -> Vec<KeyPair> {
+    [b"batch-equiv-ca-0".as_slice(), b"batch-equiv-ca-1", b"batch-equiv-ca-2"]
+        .iter()
+        .map(|seed| KeyPair::from_seed(group, seed))
+        .collect()
+}
+
+/// A key that passes parsing but lies outside the order-q subgroup:
+/// `y = p − 1` has order 2.
+fn outsider(group: &'static Group) -> PublicKey {
+    let bytes = group
+        .p
+        .checked_sub(&Uint::one())
+        .expect("p > 1")
+        .to_bytes_be_padded(group.element_len)
+        .expect("p - 1 fits");
+    PublicKey::from_bytes(group, &bytes).expect("in range")
+}
+
+/// Build one corpus item from three fuzz bytes: which key verifies, how
+/// the signature is mangled, and the message content.
+fn build_item(
+    group: &'static Group,
+    keys: &[KeyPair],
+    bad_key: &PublicKey,
+    spec: (u8, u8, u8),
+) -> (PublicKey, Vec<u8>, Signature) {
+    let (key_sel, mutation, msg_byte) = spec;
+    let ki = usize::from(key_sel) % (keys.len() + 1);
+    let message = vec![msg_byte, msg_byte ^ 0x5a, 7, 9, msg_byte.wrapping_mul(3)];
+    let signer = &keys[usize::from(key_sel) % keys.len()];
+    let mut sig = signer.private.sign(&message);
+    match mutation % 6 {
+        0 => {}                   // valid (when the verifying key matches)
+        1 => sig.e[0] ^= 0x01,    // forged challenge
+        2 => {
+            let last = sig.s.len() - 1;
+            sig.s[last] ^= 0x80; // forged response
+        }
+        3 => sig.s.truncate(sig.s.len() / 2), // truncated response
+        4 => {
+            // Out of range: s = q exactly.
+            sig.s = group
+                .q
+                .to_bytes_be_padded(group.scalar_len)
+                .expect("q fits scalar_len");
+        }
+        5 => sig = keys[(usize::from(key_sel) + 1) % keys.len()].private.sign(&message),
+        _ => unreachable!(),
+    }
+    let verifier = if ki == keys.len() {
+        bad_key.clone()
+    } else {
+        keys[ki].public.clone()
+    };
+    (verifier, message, sig)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_verdicts_match_individual(raw in proptest::collection::vec(any::<u8>(), 3..96)) {
+        let group = Group::simulation_256();
+        let keys = signers(group);
+        let bad_key = outsider(group);
+        let owned: Vec<(PublicKey, Vec<u8>, Signature)> = raw
+            .chunks_exact(3)
+            .map(|c| build_item(group, &keys, &bad_key, (c[0], c[1], c[2])))
+            .collect();
+        let items: Vec<BatchItem<'_>> = owned
+            .iter()
+            .map(|(k, m, s)| (k, m.as_slice(), s))
+            .collect();
+        let out = verify_batch(&items);
+        let individual: Vec<bool> = items
+            .iter()
+            .map(|(k, m, s)| k.verify(m, s))
+            .collect();
+        prop_assert_eq!(&out.verdicts, &individual);
+        let expected_invalid: Vec<usize> = individual
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !**v)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(&out.invalid, &expected_invalid);
+        // No faults injected, so nothing may need healing.
+        prop_assert!(out.healed.is_empty());
+    }
+
+    #[test]
+    fn injected_fault_sets_are_localized_exactly(mask in any::<u16>()) {
+        let group = Group::simulation_256();
+        let ca = KeyPair::from_seed(group, b"batch-equiv-fault-ca");
+        let messages: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i, 0xaa, i ^ 0x33]).collect();
+        let sigs: Vec<Signature> = messages.iter().map(|m| ca.private.sign(m)).collect();
+        let items: Vec<BatchItem<'_>> = messages
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (&ca.public, m.as_slice(), s))
+            .collect();
+        let faults: Vec<usize> = (0..16).filter(|i| mask & (1 << i) != 0).collect();
+        let out = verify_batch_with_fault(&items, &faults);
+        // Bisection heals exactly the corrupted indices — no more, no
+        // less — and the final verdicts equal the scalar ones (all true).
+        prop_assert_eq!(&out.healed, &faults);
+        prop_assert!(out.verdicts.iter().all(|v| *v));
+        prop_assert!(out.invalid.is_empty());
+    }
+}
+
+#[test]
+fn mixed_group_batches_match_individual() {
+    let sim = Group::simulation_256();
+    let big = Group::rfc3526_1536();
+    let sim_ca = KeyPair::from_seed(sim, b"batch-equiv-mixed-sim");
+    let big_ca = KeyPair::from_seed(big, b"batch-equiv-mixed-big");
+    let m1 = b"small-group message".to_vec();
+    let m2 = b"big-group message".to_vec();
+    let m3 = b"second small".to_vec();
+    let s1 = sim_ca.private.sign(&m1);
+    let mut s2 = big_ca.private.sign(&m2);
+    let s3 = sim_ca.private.sign(&m3);
+    s2.e[3] ^= 0x10; // forge the 1536-bit item
+    let items: Vec<BatchItem<'_>> = vec![
+        (&sim_ca.public, m1.as_slice(), &s1),
+        (&big_ca.public, m2.as_slice(), &s2),
+        (&sim_ca.public, m3.as_slice(), &s3),
+    ];
+    let out = verify_batch(&items);
+    let individual: Vec<bool> = items.iter().map(|(k, m, s)| k.verify(m, s)).collect();
+    assert_eq!(out.verdicts, individual);
+    assert_eq!(out.verdicts, vec![true, false, true]);
+    assert!(out.healed.is_empty());
+}
+
+#[test]
+fn policy_overrides_keep_verdicts_and_gate_bisection() {
+    // Sequential policy mutations (see module docs for why these stay in
+    // one test): Off must bypass the batch machinery entirely; On must
+    // run the aggregate even for a singleton.
+    let group = Group::simulation_256();
+    let ca = KeyPair::from_seed(group, b"batch-equiv-policy-ca");
+    let messages: Vec<Vec<u8>> = (0..5u8).map(|i| vec![0x60 | i; 21]).collect();
+    let mut sigs: Vec<Signature> = messages.iter().map(|m| ca.private.sign(m)).collect();
+    sigs[3].e[5] ^= 0x04;
+    let items: Vec<BatchItem<'_>> = messages
+        .iter()
+        .zip(&sigs)
+        .map(|(m, s)| (&ca.public, m.as_slice(), s))
+        .collect();
+    let expected = vec![true, true, true, false, true];
+
+    set_verify_batch_policy(BatchPolicy::Off);
+    let off = verify_batch_with_fault(&items, &[1]);
+    // Off is the pre-batching loop: identical verdicts, and the fault
+    // hook has no arithmetic to corrupt.
+    assert_eq!(off.verdicts, expected);
+    assert!(off.healed.is_empty());
+
+    set_verify_batch_policy(BatchPolicy::On);
+    let on = verify_batch(&items[..1]);
+    assert_eq!(on.verdicts, vec![true]);
+    let on_faulted = verify_batch_with_fault(&items[..1], &[0]);
+    // On runs the self-check even for one item, so the singleton heals.
+    assert_eq!(on_faulted.verdicts, vec![true]);
+    assert_eq!(on_faulted.healed, vec![0]);
+
+    set_verify_batch_policy(BatchPolicy::Auto);
+    let auto = verify_batch(&items);
+    assert_eq!(auto.verdicts, expected);
+}
