@@ -16,8 +16,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Crates whose concurrency is model-checked. crates/mc itself is the
-# shim layer and is intentionally exempt.
-WIRED=(crates/crypto crates/core crates/lint crates/bench)
+# shim layer and is intentionally exempt. crates/obs is wired because
+# its registry lock and metric atomics sit on the hot paths the model
+# tests explore (cache fills, batched verifies bump obs counters).
+WIRED=(crates/crypto crates/core crates/lint crates/bench crates/obs)
 
 # Banned constructs: direct std lock/once types (path or braced import),
 # std thread spawn/scope, and std atomics of the widths ccc-mc shims.

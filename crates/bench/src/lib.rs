@@ -44,9 +44,9 @@ use std::collections::BTreeMap;
 pub mod pipeline;
 
 pub use pipeline::{
-    AnalysisPass, ChaosClientCell, ChaosScenarioSummary, ChaosSummary, CompliancePass,
-    DifferentialPass, FaultPass, FaultScenario, LintPass, ObservationMemo, PassContext,
-    Pipeline, PipelineStats,
+    touch_pipeline_metrics, AnalysisPass, ChaosClientCell, ChaosScenarioSummary, ChaosSummary,
+    CompliancePass, DifferentialPass, FaultPass, FaultScenario, LintPass, ObservationMemo,
+    PassContext, Pipeline, PipelineStats,
 };
 
 /// Default corpus size for the regeneration binaries.

@@ -223,6 +223,77 @@ impl PipelineStats {
     }
 }
 
+/// `ccc-obs` registry handles for the pipeline-phase metrics, recorded
+/// once per [`Pipeline::run`]. Observation/pass totals are stable (fixed
+/// by the workload); the phase durations and worker gauge are wall-clock
+/// and scheduling artifacts, so they register volatile.
+struct PipelineMetrics {
+    runs: &'static ccc_obs::Counter,
+    observations: &'static ccc_obs::Counter,
+    passes: &'static ccc_obs::Counter,
+    threads: &'static ccc_obs::Gauge,
+    generation_us: &'static ccc_obs::Counter,
+    analysis_us: &'static ccc_obs::Counter,
+    wall_us: &'static ccc_obs::Counter,
+}
+
+fn pipeline_metrics() -> &'static PipelineMetrics {
+    static METRICS: ccc_mc::OnceLock<PipelineMetrics> = ccc_mc::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = ccc_obs::MetricsRegistry::global();
+        PipelineMetrics {
+            runs: reg.counter("ccc_pipeline_runs_total", "Fused pipeline sweeps executed."),
+            observations: reg.counter(
+                "ccc_pipeline_observations_total",
+                "Observations generated across all sweeps (each exactly once per sweep).",
+            ),
+            passes: reg.counter(
+                "ccc_pipeline_passes_total",
+                "Leaf analysis passes fanned out to, summed over sweeps.",
+            ),
+            threads: reg.gauge_volatile(
+                "ccc_pipeline_threads",
+                "Worker count of the most recent sweep (volatile).",
+            ),
+            generation_us: reg.counter_volatile(
+                "ccc_pipeline_generation_us_total",
+                "Observation-generation CPU microseconds, summed across workers (volatile).",
+            ),
+            analysis_us: reg.counter_volatile(
+                "ccc_pipeline_analysis_us_total",
+                "Pass-visit CPU microseconds, summed across workers (volatile).",
+            ),
+            wall_us: reg.counter_volatile(
+                "ccc_pipeline_wall_us_total",
+                "End-to-end sweep wall microseconds (volatile).",
+            ),
+        }
+    })
+}
+
+/// Force the pipeline metric families to register (so an exposition dump
+/// covers them even before any sweep ran).
+pub fn touch_pipeline_metrics() {
+    let _ = pipeline_metrics();
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Publish one finished sweep's phase split to the process-global
+/// registry (the same numbers `PipelineStats::render` prints).
+fn record_pipeline_stats(stats: &PipelineStats) {
+    let m = pipeline_metrics();
+    m.runs.inc();
+    m.observations.add(stats.observations as u64);
+    m.passes.add(stats.passes as u64);
+    m.threads.set(stats.threads as u64);
+    m.generation_us.add(duration_us(stats.generation));
+    m.analysis_us.add(duration_us(stats.analysis));
+    m.wall_us.add(duration_us(stats.wall));
+}
+
 /// The fused sweep executor. Construct with an explicit worker count
 /// ([`Pipeline::new`]) or from `CCC_THREADS` ([`Pipeline::from_env`]).
 #[derive(Clone, Copy, Debug)]
@@ -261,6 +332,7 @@ impl Pipeline {
         let domains = corpus.spec.domains;
         let ctx = PassContext { corpus, checker };
         let cache_before = checker.snapshot_stats();
+        let _span = ccc_obs::span!("pipeline.run");
         let wall_start = Instant::now();
         let mut generation = Duration::ZERO;
         let mut analysis = Duration::ZERO;
@@ -311,6 +383,7 @@ impl Pipeline {
             wall: wall_start.elapsed(),
             cache: checker.snapshot_stats().since(&cache_before),
         };
+        record_pipeline_stats(&stats);
         (root, stats)
     }
 }
@@ -337,7 +410,14 @@ fn run_chunk<'c, P: AnalysisPass<'c>>(
     start: usize,
     end: usize,
 ) -> (P, Duration, Duration) {
-    let window = REUSE_WINDOW.min(end.saturating_sub(start).max(1));
+    if start >= end {
+        // Empty rank range (zero-domain corpus, `start == end` range, or
+        // a trailing worker past the clamped chunk edges): nothing to
+        // generate, so return the untouched worker instead of allocating
+        // a bogus 1-slot store for zero observations.
+        return (worker, Duration::ZERO, Duration::ZERO);
+    }
+    let window = REUSE_WINDOW.min(end - start);
     let mut store = ObservationStore::new(ctx.corpus, window);
     let mut generation = Duration::ZERO;
     let mut analysis = Duration::ZERO;
@@ -1038,6 +1118,52 @@ mod tests {
         assert!(text.contains("signature cache"), "{text}");
         assert!(text.contains("generation"), "{text}");
         assert!(text.contains("analysis"), "{text}");
+    }
+
+    #[test]
+    fn zero_domain_corpus_runs_without_allocating_a_store() {
+        // Regression: `run_chunk` used to clamp the reuse window with
+        // `end.saturating_sub(start).max(1)`, silently allocating a
+        // 1-slot ObservationStore for an empty rank range. The empty
+        // sweep must short-circuit and still agree with the standalone
+        // compute paths on an empty corpus.
+        let corpus = scan_corpus(0);
+        let checker = IssuanceChecker::new();
+        let ((compliance, lint), stats) = Pipeline::new(1).run(
+            &corpus,
+            &checker,
+            (CompliancePass::new(), LintPass::new()),
+        );
+        assert_eq!(stats.observations, 0);
+        assert_eq!(stats.cache.lookups, 0, "empty sweep touched the cache");
+
+        let solo = IssuanceChecker::new();
+        assert_eq!(
+            compliance.into_summary(),
+            CorpusSummary::compute_with_threads(&corpus, &solo, 1)
+        );
+        let solo = IssuanceChecker::new();
+        assert_eq!(
+            lint.into_summary(),
+            LintSummary::compute_with_threads(&corpus, &solo, 1)
+        );
+    }
+
+    #[test]
+    fn empty_rank_range_matches_full_range_merge() {
+        // `run_range` with `start == end` must be a strict no-op whose
+        // merge contributes nothing: [0,n) == [0,k) + [k,k) + [k,n).
+        let corpus = scan_corpus(24);
+        let checker = IssuanceChecker::new();
+        let full = run_range(&corpus, &checker, 0, 24, CompliancePass::new());
+
+        let checker = IssuanceChecker::new();
+        let mut lo = run_range(&corpus, &checker, 0, 12, CompliancePass::new());
+        let empty = run_range(&corpus, &checker, 12, 12, CompliancePass::new());
+        let hi = run_range(&corpus, &checker, 12, 24, CompliancePass::new());
+        lo.merge(empty);
+        lo.merge(hi);
+        assert_eq!(full.into_summary(), lo.into_summary());
     }
 
     #[test]

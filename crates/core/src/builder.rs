@@ -22,6 +22,7 @@
 use crate::topology::{CacheStats, IssuanceChecker};
 use crate::validate::{validate_path, ValidationOptions};
 use ccc_asn1::Time;
+use ccc_mc::OnceLock;
 use ccc_netsim::{AiaTransport, FetchOutcome};
 use ccc_rootstore::RootStore;
 use ccc_x509::{
@@ -74,7 +75,9 @@ pub struct RetryPolicy {
     /// Maximum fetch attempts per URI (≥ 1; 1 = no retries).
     pub max_attempts: u32,
     /// Base backoff charged to the simulated clock after a transient
-    /// failure; doubles per retry (`base << (attempt - 1)`).
+    /// failure; doubles per retry (`base << (attempt - 1)`, saturating to
+    /// the budget remaining so high attempt counts cannot overflow the
+    /// shift or overshoot `budget_ms`).
     pub backoff_base_ms: u64,
     /// Total simulated-time budget for one build. Once the build's
     /// simulated clock passes this, further AIA attempts are abandoned
@@ -302,6 +305,97 @@ pub struct BuildStats {
     pub cache: CacheStats,
 }
 
+/// `ccc-obs` registry handles for the builder counters, registered once
+/// per process and bumped after every completed build. All stable: each
+/// field aggregates a per-build deterministic quantity (simulated clock,
+/// search work), so the totals are bit-identical for a fixed workload at
+/// any worker count.
+struct BuildMetrics {
+    builds: &'static ccc_obs::Counter,
+    accepted: &'static ccc_obs::Counter,
+    candidates: &'static ccc_obs::Counter,
+    backtracks: &'static ccc_obs::Counter,
+    aia_attempts: &'static ccc_obs::Counter,
+    aia_fetches: &'static ccc_obs::Counter,
+    aia_retries: &'static ccc_obs::Counter,
+    budget_exhausted: &'static ccc_obs::Counter,
+    sim_latency_total: &'static ccc_obs::Counter,
+    sim_latency_hist: &'static ccc_obs::Histogram,
+}
+
+fn build_metrics() -> &'static BuildMetrics {
+    static METRICS: OnceLock<BuildMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = ccc_obs::MetricsRegistry::global();
+        BuildMetrics {
+            builds: reg.counter("ccc_builder_builds_total", "Builds processed."),
+            accepted: reg.counter(
+                "ccc_builder_accepted_total",
+                "Builds whose client accepted the chain.",
+            ),
+            candidates: reg.counter(
+                "ccc_builder_candidates_total",
+                "Candidate issuers examined across all builds.",
+            ),
+            backtracks: reg.counter(
+                "ccc_builder_backtracks_total",
+                "Dead ends rolled back across all builds.",
+            ),
+            aia_attempts: reg.counter(
+                "ccc_builder_aia_attempts_total",
+                "AIA fetch attempts, including failed ones.",
+            ),
+            aia_fetches: reg.counter(
+                "ccc_builder_aia_fetches_total",
+                "AIA fetches that returned a certificate.",
+            ),
+            aia_retries: reg.counter(
+                "ccc_builder_aia_retries_total",
+                "Transient-failure retries performed.",
+            ),
+            budget_exhausted: reg.counter(
+                "ccc_builder_aia_budget_exhausted_total",
+                "Builds that abandoned AIA completion on budget exhaustion.",
+            ),
+            sim_latency_total: reg.counter(
+                "ccc_builder_sim_latency_ms_total",
+                "Simulated milliseconds spent on AIA latency and backoff.",
+            ),
+            sim_latency_hist: reg.histogram(
+                "ccc_builder_sim_latency_ms",
+                "Per-build simulated AIA latency in milliseconds.",
+            ),
+        }
+    })
+}
+
+/// Publish one finished build's counters to the process-global registry.
+/// Relaxed adds only; per-build values are deterministic, so the sums are
+/// worker-count invariant.
+fn record_build_metrics(stats: &BuildStats, accepted: bool) {
+    let m = build_metrics();
+    m.builds.inc();
+    if accepted {
+        m.accepted.inc();
+    }
+    m.candidates.add(stats.candidates_considered as u64);
+    m.backtracks.add(stats.backtracks as u64);
+    m.aia_attempts.add(stats.aia_attempts as u64);
+    m.aia_fetches.add(stats.aia_fetches as u64);
+    m.aia_retries.add(stats.aia_retries as u64);
+    if stats.aia_budget_exhausted {
+        m.budget_exhausted.inc();
+    }
+    m.sim_latency_total.add(stats.sim_latency_ms);
+    m.sim_latency_hist.observe(stats.sim_latency_ms);
+}
+
+/// Force the builder metric families to register (so an exposition dump
+/// covers them even before any build ran).
+pub fn touch_build_metrics() {
+    let _ = build_metrics();
+}
+
 /// The result of one client's attempt on one served list.
 #[derive(Clone, Debug)]
 pub struct BuildOutcome {
@@ -475,6 +569,7 @@ impl ChainEngine {
         let cache_before = ctx.checker.counters();
         let (path, verdict) = self.process_inner(served, ctx, &mut stats, None, &scratch);
         stats.cache = ctx.checker.counters().since(&cache_before);
+        record_build_metrics(&stats, verdict.is_ok());
         BuildOutcome {
             path,
             verdict,
@@ -501,6 +596,7 @@ impl ChainEngine {
         let (path, verdict) =
             self.process_inner(served, ctx, &mut stats, Some((seed, cache_pool)), scratch);
         stats.cache = ctx.checker.counters().since(&cache_before);
+        record_build_metrics(&stats, verdict.is_ok());
         BuildOutcome {
             path,
             verdict,
@@ -1083,13 +1179,29 @@ impl Search<'_, '_, '_> {
                         return None;
                     }
                     self.stats.aia_retries += 1;
-                    // Exponential backoff on the simulated clock (shift
-                    // capped so pathological attempt counts can't wrap).
-                    let backoff = retry
-                        .backoff_base_ms
-                        .saturating_mul(1u64 << (attempt - 1).min(16));
-                    self.stats.sim_latency_ms =
-                        self.stats.sim_latency_ms.saturating_add(backoff);
+                    // Exponential backoff on the simulated clock. The
+                    // doubling is `base << (attempt - 1)`; `checked_shl`
+                    // (plus a shifted-bits-lost check) saturates
+                    // pathological attempt counts to the *remaining
+                    // budget* instead of wrapping the shift — a wrapped
+                    // backoff corrupted `sim_latency_ms` and made the
+                    // budget gate fire with a bogus overshoot.
+                    let remaining = retry
+                        .budget_ms
+                        .saturating_sub(self.stats.sim_latency_ms);
+                    let shift = attempt - 1;
+                    let doubled = match retry.backoff_base_ms.checked_shl(shift) {
+                        Some(scaled) if scaled >> shift == retry.backoff_base_ms => scaled,
+                        // Shift ≥ 64 or high bits lost: the doubling has
+                        // outgrown u64 (unless the base is 0, where the
+                        // true product stays 0).
+                        _ if retry.backoff_base_ms == 0 => 0,
+                        _ => u64::MAX,
+                    };
+                    self.stats.sim_latency_ms = self
+                        .stats
+                        .sim_latency_ms
+                        .saturating_add(doubled.min(remaining));
                 }
             }
         }
@@ -1538,6 +1650,77 @@ mod tests {
         assert!(outcome.stats.aia_budget_exhausted);
         assert_eq!(outcome.stats.aia_attempts, 1, "budget gate must stop attempt 2");
         assert!(outcome.stats.sim_latency_ms >= 500);
+    }
+
+    /// Regression (ISSUE 10 bugfix): the exponential backoff doubles as
+    /// `base << (attempt - 1)`; before the fix the shift was clamped and
+    /// the doubling could overshoot the retry budget by tens of seconds,
+    /// corrupting `sim_latency_ms`. It now saturates to the *remaining*
+    /// budget, so the simulated clock lands exactly on `budget_ms`.
+    #[test]
+    fn high_attempt_backoff_saturates_to_remaining_budget() {
+        let p = pki();
+        let uri = "http://aia.sim/never-int.crt";
+        let leaf = aia_leaf("overflow.sim", uri);
+        let transport = FlakyTransport {
+            cert: p.int.clone(),
+            fail_first: u32::MAX,
+            latency_ms: 0,
+        };
+        let mut policy = BuilderPolicy::full_capability("retry70");
+        policy.retry = RetryPolicy::retrying(70, 1, 50_000);
+        let budget = policy.retry.budget_ms;
+        let checker = IssuanceChecker::new();
+        let ctx = BuildContext {
+            store: &p.store,
+            aia: Some(&transport),
+            cache: &[],
+            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            checker: &checker,
+        };
+        let outcome = ChainEngine::new(policy).process(&[leaf], &ctx);
+        assert_eq!(outcome.verdict, Err(ClientError::NoIssuerFound));
+        assert!(outcome.stats.aia_budget_exhausted);
+        // Backoffs 1, 2, 4, … total 2^k − 1; the 16th retry's doubling
+        // (32_768) is clamped to the 17_233ms remaining, landing the
+        // clock exactly on the budget (pre-fix: 65_535, a 31% overshoot).
+        assert_eq!(outcome.stats.sim_latency_ms, budget);
+        assert_eq!(outcome.stats.aia_attempts, 16);
+        assert_eq!(outcome.stats.aia_retries, 16);
+    }
+
+    /// Regression (ISSUE 10 bugfix): `max_attempts = 70` drives the shift
+    /// past 63 (attempt 65 onward); `checked_shl` must neither panic (the
+    /// pre-clamp debug behavior) nor saturate a zero base to a non-zero
+    /// backoff.
+    #[test]
+    fn seventy_attempts_with_zero_base_never_overflow_the_shift() {
+        let p = pki();
+        let uri = "http://aia.sim/never-int.crt";
+        let leaf = aia_leaf("shift.sim", uri);
+        let transport = FlakyTransport {
+            cert: p.int.clone(),
+            fail_first: u32::MAX,
+            latency_ms: 0,
+        };
+        let mut policy = BuilderPolicy::full_capability("retry70z");
+        policy.retry = RetryPolicy::retrying(70, 0, u64::MAX);
+        let checker = IssuanceChecker::new();
+        let ctx = BuildContext {
+            store: &p.store,
+            aia: Some(&transport),
+            cache: &[],
+            now: Time::from_ymd(2024, 7, 1).unwrap(),
+            checker: &checker,
+        };
+        let outcome = ChainEngine::new(policy).process(&[leaf], &ctx);
+        assert_eq!(outcome.verdict, Err(ClientError::NoIssuerFound));
+        // All 70 attempts ran: a zero base doubles to zero forever, so
+        // neither the budget gate nor the shift stops the loop early.
+        assert_eq!(outcome.stats.aia_attempts, 70);
+        assert_eq!(outcome.stats.aia_retries, 69);
+        assert_eq!(outcome.stats.sim_latency_ms, 0);
+        assert!(!outcome.stats.aia_budget_exhausted);
     }
 
     #[test]

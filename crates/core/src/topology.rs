@@ -837,6 +837,31 @@ mod tests {
     }
 
     #[test]
+    fn cache_stats_since_saturates_on_fresher_baseline() {
+        // Regression: diffing an older snapshot against a fresher
+        // baseline (swapped snapshot order in a caller) must clamp every
+        // counter delta to zero instead of wrapping toward u64::MAX.
+        // `entries` carries the later absolute value by contract.
+        let f = fixture();
+        let checker = IssuanceChecker::new();
+        let before = checker.snapshot_stats();
+        let _ = TopologyGraph::build(&[f.leaf.clone(), f.int1.clone(), f.root.clone()], &checker);
+        let after = checker.snapshot_stats();
+        assert!(after.lookups > before.lookups, "build did no lookups");
+        let wrong_order = before.since(&after);
+        assert_eq!(wrong_order.lookups, 0);
+        assert_eq!(wrong_order.hits, 0);
+        assert_eq!(wrong_order.misses, 0);
+        assert_eq!(wrong_order.verifications, 0);
+        assert_eq!(wrong_order.coalesced_waits, 0);
+        assert_eq!(wrong_order.tables_built, 0);
+        assert_eq!(wrong_order.batched_verifies, 0);
+        assert_eq!(wrong_order.batch_flushes, 0);
+        // `entries` is the receiver's absolute value, i.e. `before`'s.
+        assert_eq!(wrong_order.entries, before.entries);
+    }
+
+    #[test]
     fn self_signed_has_no_self_edge() {
         let f = fixture();
         let checker = IssuanceChecker::new();

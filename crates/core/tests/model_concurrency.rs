@@ -23,6 +23,12 @@ use std::sync::Arc;
 static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    // Warm the process-global ccc-obs registration outside the explorer
+    // so the registry OnceLocks are "done" during runs: in-run metric
+    // updates then emit schedule-consistent ops instead of a one-time
+    // init that diverges between the first execution and its replays.
+    let _ = ccc_crypto::verify_route_stats();
+    ccc_core::builder::touch_build_metrics();
     TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 

@@ -201,11 +201,49 @@ pub fn set_verify_batch_policy(policy: BatchPolicy) {
     BATCH_POLICY.store(raw, Ordering::Relaxed);
 }
 
-static FIXED_BASE_HITS: AtomicU64 = AtomicU64::new(0);
-static COLD_MULTIEXPS: AtomicU64 = AtomicU64::new(0);
-static TABLES_BUILT: AtomicU64 = AtomicU64::new(0);
-static BATCHED_VERIFIES: AtomicU64 = AtomicU64::new(0);
-static BATCH_FLUSHES: AtomicU64 = AtomicU64::new(0);
+/// The `ccc-obs` registry cells behind the verify-route counters. The
+/// registry series *are* the counters (replacing the five bespoke statics
+/// earlier PRs kept here); [`verify_route_stats`] reads them back, so the
+/// `.since()` delta plumbing and every downstream stdout render are
+/// byte-identical. Registered volatile: the hot/cold split and batch
+/// flush timing depend on thread scheduling (promotion races), unlike the
+/// builder's per-build counts.
+struct RouteMetrics {
+    fixed_base_hits: &'static ccc_obs::Counter,
+    cold_multiexps: &'static ccc_obs::Counter,
+    tables_built: &'static ccc_obs::Counter,
+    batched_verifies: &'static ccc_obs::Counter,
+    batch_flushes: &'static ccc_obs::Counter,
+}
+
+fn route_metrics() -> &'static RouteMetrics {
+    static METRICS: OnceLock<RouteMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = ccc_obs::MetricsRegistry::global();
+        RouteMetrics {
+            fixed_base_hits: reg.counter_volatile(
+                "ccc_verify_fixed_base_hits_total",
+                "Verifications routed through a per-key fixed-base table.",
+            ),
+            cold_multiexps: reg.counter_volatile(
+                "ccc_verify_cold_multiexps_total",
+                "Verifications routed through the cold Straus multi-exponentiation.",
+            ),
+            tables_built: reg.counter_volatile(
+                "ccc_verify_tables_built_total",
+                "Per-key fixed-base tables built (narrow and wide alike).",
+            ),
+            batched_verifies: reg.counter_volatile(
+                "ccc_verify_batched_verifies_total",
+                "Signature checks performed inside verify_batch.",
+            ),
+            batch_flushes: reg.counter_volatile(
+                "ccc_verify_batch_flushes_total",
+                "verify_batch invocations that actually batched.",
+            ),
+        }
+    })
+}
 
 /// Process-wide verify-route counters (monotonic; meaningful as deltas
 /// around a workload, like `keypair_derivations`).
@@ -243,41 +281,45 @@ impl VerifyRouteStats {
     }
 }
 
-/// Snapshot of the process-wide verify-route counters.
+/// Snapshot of the process-wide verify-route counters (read back from
+/// the `ccc-obs` registry; also forces the route series to register, so
+/// an exposition dump covers them even before any verification ran).
 pub fn verify_route_stats() -> VerifyRouteStats {
-    // ordering: Relaxed — monotonic counters read as point-in-time deltas;
-    // callers tolerate (and tests account for) concurrent increments, and
-    // no other memory is synchronized through them.
+    // Counter::get is a Relaxed load: monotonic counters read as
+    // point-in-time deltas; callers tolerate (and tests account for)
+    // concurrent increments, and no other memory is synchronized through
+    // them.
+    let m = route_metrics();
     VerifyRouteStats {
-        fixed_base_hits: FIXED_BASE_HITS.load(Ordering::Relaxed),
-        cold_multiexps: COLD_MULTIEXPS.load(Ordering::Relaxed),
-        tables_built: TABLES_BUILT.load(Ordering::Relaxed),
-        batched_verifies: BATCHED_VERIFIES.load(Ordering::Relaxed),
-        batch_flushes: BATCH_FLUSHES.load(Ordering::Relaxed),
+        fixed_base_hits: m.fixed_base_hits.get(),
+        cold_multiexps: m.cold_multiexps.get(),
+        tables_built: m.tables_built.get(),
+        batched_verifies: m.batched_verifies.get(),
+        batch_flushes: m.batch_flushes.get(),
     }
 }
 
 pub(crate) fn note_fixed_base_hit() {
-    // ordering: Relaxed — pure monotonic count; fetch_add's RMW atomicity
-    // (never-lose-an-update) needs no ordering, and nothing reads other
-    // state "after" observing the counter. Model-checked by the
-    // route_counters_lose_no_updates property.
-    FIXED_BASE_HITS.fetch_add(1, Ordering::Relaxed);
+    // Counter::add is a Relaxed fetch_add — pure monotonic count; the
+    // RMW atomicity (never-lose-an-update) needs no ordering, and nothing
+    // reads other state "after" observing the counter. Model-checked by
+    // the route_counters_lose_no_updates property.
+    route_metrics().fixed_base_hits.inc();
 }
 
 pub(crate) fn note_cold_multiexp() {
-    // ordering: Relaxed — same monotonic-counter argument as above.
-    COLD_MULTIEXPS.fetch_add(1, Ordering::Relaxed);
+    // Relaxed add — same monotonic-counter argument as above.
+    route_metrics().cold_multiexps.inc();
 }
 
 pub(crate) fn note_batched(n: u64) {
-    // ordering: Relaxed — same monotonic-counter argument as above.
-    BATCHED_VERIFIES.fetch_add(n, Ordering::Relaxed);
+    // Relaxed add — same monotonic-counter argument as above.
+    route_metrics().batched_verifies.add(n);
 }
 
 pub(crate) fn note_batch_flush() {
-    // ordering: Relaxed — same monotonic-counter argument as above.
-    BATCH_FLUSHES.fetch_add(1, Ordering::Relaxed);
+    // Relaxed add — same monotonic-counter argument as above.
+    route_metrics().batch_flushes.inc();
 }
 
 /// Shared per-`(group, y)` verification state, interned once per process.
@@ -356,11 +398,11 @@ impl InternedKey {
     /// the `OnceLock`, so it is built at most once per process).
     pub fn table(&self, ctx: &MontgomeryCtx, max_exp_bits: usize) -> &FixedBaseTable {
         self.table.get_or_init(|| {
-            // ordering: Relaxed — counts initializer executions; the
-            // OnceLock's own synchronization publishes the table itself
+            // Relaxed add — counts initializer executions; the OnceLock's
+            // own synchronization publishes the table itself
             // (exactly-once is model-checked by
             // table_promotion_builds_exactly_once).
-            TABLES_BUILT.fetch_add(1, Ordering::Relaxed);
+            route_metrics().tables_built.inc();
             FixedBaseTable::from_mont(ctx, &self.y_mont, max_exp_bits)
         })
     }
@@ -372,9 +414,9 @@ impl InternedKey {
     /// [`WIDE_PROMOTION_THRESHOLD`]; this method itself always builds.
     pub fn wide_table(&self, ctx: &MontgomeryCtx, max_exp_bits: usize) -> &FixedBaseTable {
         self.wide_table.get_or_init(|| {
-            // ordering: Relaxed — counts initializer executions, exactly
-            // like the narrow table() above.
-            TABLES_BUILT.fetch_add(1, Ordering::Relaxed);
+            // Relaxed add — counts initializer executions, exactly like
+            // the narrow table() above.
+            route_metrics().tables_built.inc();
             FixedBaseTable::from_mont_with_window(ctx, &self.y_mont, max_exp_bits, WIDE_WINDOW)
         })
     }
@@ -564,6 +606,40 @@ mod tests {
         // accounting is pinned in tests/promotion_policy.rs.
         let delta = verify_route_stats().since(&before);
         assert!(delta.tables_built >= 1);
+    }
+
+    #[test]
+    fn route_stats_since_saturates_on_fresher_baseline() {
+        // Regression: diffing an *older* snapshot against a *fresher*
+        // baseline (snapshot-ordering mistake in a caller) used to wrap
+        // to ~u64::MAX per counter; deltas must clamp to zero instead.
+        let older = VerifyRouteStats {
+            fixed_base_hits: 3,
+            cold_multiexps: 1,
+            tables_built: 1,
+            batched_verifies: 8,
+            batch_flushes: 2,
+        };
+        let fresher = VerifyRouteStats {
+            fixed_base_hits: 10,
+            cold_multiexps: 4,
+            tables_built: 2,
+            batched_verifies: 40,
+            batch_flushes: 5,
+        };
+        assert_eq!(older.since(&fresher), VerifyRouteStats::default());
+        // And the live path: a snapshot taken *before* work, diffed
+        // against one taken after, is all zeros rather than wrapping.
+        let before = verify_route_stats();
+        let group = Group::simulation_256();
+        let kp = KeyPair::from_seed(group, b"since-ordering");
+        let registry = KeyRegistry::new();
+        let entry = registry.intern(group, kp.public.as_bytes());
+        let ops = group.ops();
+        let _ = entry.table(&ops.ctx, group.q.bit_len());
+        let after = verify_route_stats();
+        let wrong_order = before.since(&after);
+        assert_eq!(wrong_order, VerifyRouteStats::default());
     }
 
     #[test]

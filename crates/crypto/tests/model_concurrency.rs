@@ -20,6 +20,12 @@ use std::sync::Arc;
 static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    // Warm the process-global ccc-obs route-metric registration outside
+    // the explorer (same reason as `warmed_key_bytes`): with the
+    // registry OnceLocks already "done", in-run metric updates are
+    // schedule-consistent atomic ops instead of a one-time init that
+    // would make the first execution's op sequence diverge from replays.
+    let _ = ccc_crypto::verify_route_stats();
     TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 

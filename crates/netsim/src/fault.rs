@@ -28,6 +28,55 @@ use ccc_crypto::Drbg;
 use ccc_x509::Certificate;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// `ccc-obs` registry handles for the per-fault-class outcome counters,
+/// shared by every [`FaultyTransport`] in the process. All stable: each
+/// fetch outcome is a pure function of `(plan seed, URI, attempt)` and
+/// the attempt set is per-build deterministic, so the class totals are
+/// worker-count invariant (unlike the per-transport [`TransportCosts`],
+/// which additionally attribute costs to one transport instance).
+struct FetchMetrics {
+    attempts: &'static ccc_obs::Counter,
+    success: &'static ccc_obs::Counter,
+    transient: &'static ccc_obs::Counter,
+    dead: &'static ccc_obs::Counter,
+    corrupt: &'static ccc_obs::Counter,
+    latency_ms: &'static ccc_obs::Counter,
+}
+
+fn fetch_metrics() -> &'static FetchMetrics {
+    static METRICS: OnceLock<FetchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = ccc_obs::MetricsRegistry::global();
+        let class = |name: &'static str| {
+            reg.counter(
+                &format!("ccc_netsim_fetch_outcomes_total{{class=\"{name}\"}}"),
+                "Fault-injected fetch attempts by outcome class.",
+            )
+        };
+        FetchMetrics {
+            attempts: reg.counter(
+                "ccc_netsim_fetch_attempts_total",
+                "Fetch attempts routed through a fault-injecting transport.",
+            ),
+            success: class("success"),
+            transient: class("transient"),
+            dead: class("dead"),
+            corrupt: class("corrupt"),
+            latency_ms: reg.counter(
+                "ccc_netsim_sim_latency_ms_total",
+                "Simulated latency charged across all fault-injected attempts.",
+            ),
+        }
+    })
+}
+
+/// Force the netsim fetch metric families to register (so an exposition
+/// dump covers them even for fault-free runs).
+pub fn touch_fetch_metrics() {
+    let _ = fetch_metrics();
+}
 
 /// What one fetch attempt returned.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -294,7 +343,7 @@ impl AiaTransport for FaultyTransport<'_> {
         self.attempts.fetch_add(1, Ordering::Relaxed);
         let (latency_ms, fault) = self.plan.draws(uri);
         self.latency_ms.fetch_add(latency_ms, Ordering::Relaxed);
-        match fault {
+        let response = match fault {
             UriFault::Healthy => self.resolve(uri, latency_ms),
             UriFault::Transient { fail_attempts } => {
                 if attempt <= fail_attempts {
@@ -321,7 +370,20 @@ impl AiaTransport for FaultyTransport<'_> {
                     latency_ms,
                 }
             }
+        };
+        // Process-global outcome tallies (class of the response the
+        // *caller* sees: a healthy URI missing from the repository counts
+        // as dead here even though the plan never touched it).
+        let m = fetch_metrics();
+        m.attempts.inc();
+        m.latency_ms.add(latency_ms);
+        match response.outcome {
+            FetchOutcome::Success(_) => m.success.inc(),
+            FetchOutcome::Transient => m.transient.inc(),
+            FetchOutcome::Dead => m.dead.inc(),
+            FetchOutcome::Corrupt => m.corrupt.inc(),
         }
+        response
     }
 }
 

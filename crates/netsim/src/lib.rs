@@ -32,7 +32,7 @@ pub use admin::{AdminBehavior, AdminError};
 pub use aia::{AiaFailure, AiaRepository};
 pub use ca::{CaProfile, IssuedBundle};
 pub use fault::{
-    AiaTransport, FaultPlan, FaultyTransport, FetchOutcome, FetchResponse, TransportCosts,
-    UriFault,
+    touch_fetch_metrics, AiaTransport, FaultPlan, FaultyTransport, FetchOutcome, FetchResponse,
+    TransportCosts, UriFault,
 };
 pub use httpserver::{DeployError, DeploymentFiles, DeploymentOutcome, HttpServerKind};

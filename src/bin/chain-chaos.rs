@@ -16,10 +16,17 @@
 //! chain-chaos chaos [--domains N] [--fault-seed S] [--rates a,b,c]
 //!                                        I-4 availability under deterministic
 //!                                        network-fault injection
+//! chain-chaos metrics [--metrics <path>] dump the metric families (no work)
 //! ```
 //!
 //! `lint` exits non-zero iff Error-severity findings remain after baseline
 //! suppression, so it drops into CI pipelines directly.
+//!
+//! Every subcommand additionally accepts `--metrics <path>`: after the
+//! command finishes, the process-global `ccc-obs` registry is dumped to
+//! `<path>` — Prometheus text exposition by default, the no-serde JSON
+//! object format when the path ends in `.json`, stdout when the path is
+//! `-`.
 
 use chain_chaos::asn1::Time;
 use chain_chaos::core::clients::ClientKind;
@@ -454,6 +461,43 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Force every metric family this binary can produce to register, so a
+/// dump enumerates them (at zero) even when the command exercised only a
+/// few. Keeps `--metrics` output shape independent of the workload.
+fn touch_all_metrics() {
+    chain_chaos::core::builder::touch_build_metrics();
+    chain_chaos::netsim::touch_fetch_metrics();
+    chain_chaos::bench::touch_pipeline_metrics();
+    // Reading the route stats registers the verify-route family.
+    let _ = chain_chaos::crypto::verify_route_stats();
+}
+
+/// `chain-chaos metrics`: register every family and dump the (all-zero)
+/// exposition — a schema preview and a smoke test for scrape tooling.
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    let path = args.opt("metrics").unwrap_or("-");
+    dump_metrics(path)
+}
+
+/// Render the process-global registry to `path` (Prometheus text, or the
+/// no-serde JSON object format when `path` ends in `.json`; `-` writes
+/// Prometheus to stdout, `-.json`/`.json` alone are not special-cased).
+fn dump_metrics(path: &str) -> Result<(), String> {
+    touch_all_metrics();
+    let snapshot = chain_chaos::obs::MetricsRegistry::global().snapshot();
+    let rendered = if path.ends_with(".json") {
+        chain_chaos::obs::render_json(&snapshot)
+    } else {
+        chain_chaos::obs::render_prometheus(&snapshot)
+    };
+    if path == "-" {
+        print!("{rendered}");
+        Ok(())
+    } else {
+        std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(raw) {
@@ -464,6 +508,15 @@ fn main() -> ExitCode {
         }
     };
     let command = args.positional.first().map(String::as_str).unwrap_or("");
+    let _span = match command {
+        "demo-pki" => Some(chain_chaos::obs::span!("cmd.demo-pki")),
+        "analyze" => Some(chain_chaos::obs::span!("cmd.analyze")),
+        "build" => Some(chain_chaos::obs::span!("cmd.build")),
+        "matrix" => Some(chain_chaos::obs::span!("cmd.matrix")),
+        "lint" => Some(chain_chaos::obs::span!("cmd.lint")),
+        "chaos" => Some(chain_chaos::obs::span!("cmd.chaos")),
+        _ => None,
+    };
     let result = match command {
         "demo-pki" => cmd_demo_pki(&args).map(|()| ExitCode::SUCCESS),
         "analyze" => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
@@ -471,6 +524,7 @@ fn main() -> ExitCode {
         "matrix" => cmd_matrix(&args).map(|()| ExitCode::SUCCESS),
         "lint" => cmd_lint(&args),
         "chaos" => cmd_chaos(&args).map(|()| ExitCode::SUCCESS),
+        "metrics" => cmd_metrics(&args).map(|()| ExitCode::SUCCESS),
         _ => {
             eprintln!(
                 "chain-chaos — Web PKI certificate chain compliance toolkit\n\n\
@@ -481,11 +535,24 @@ fn main() -> ExitCode {
                  \x20 matrix  <chain.pem> --store roots.pem [--domain D] [--time YYYY-MM-DD]\n\
                  \x20 lint    <chain.pem> [--domain D] [--store roots.pem] [--format text|json|sarif]\n\
                  \x20         [--time YYYY-MM-DD] [--baseline f] [--write-baseline f]\n\
-                 \x20 chaos   [--domains N] [--fault-seed S] [--rates a,b,c]"
+                 \x20 chaos   [--domains N] [--fault-seed S] [--rates a,b,c]\n\
+                 \x20 metrics [--metrics <path>]\n\n\
+                 every command accepts --metrics <path> to dump the ccc-obs\n\
+                 registry afterwards (Prometheus text; *.json for JSON; - for stdout)"
             );
             return ExitCode::FAILURE;
         }
     };
+    // Close the command span before dumping so its duration is recorded.
+    drop(_span);
+    if let Some(path) = args.opt("metrics") {
+        if command != "metrics" {
+            if let Err(e) = dump_metrics(path) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match result {
         Ok(code) => code,
         Err(e) => {

@@ -16,6 +16,7 @@
 //! | [`x509`] | `ccc-x509` | certificates, extensions, builder |
 //! | [`rootstore`] | `ccc-rootstore` | CA universe, root programs |
 //! | [`netsim`] | `ccc-netsim` | AIA, TLS framing, CA pipelines, HTTP servers |
+//! | [`obs`] | `ccc-obs` | process-global metrics registry, spans, Prometheus/JSON renderers |
 //! | [`core`] | `ccc-core` | compliance analysis, chain builder, clients, differential testing |
 //! | [`testgen`] | `ccc-testgen` | capability tests, scenarios, mutations, corpus |
 //! | [`lint`] | `ccc-lint` | zlint-style rule registry, SARIF/JSONL diagnostics, baselines |
@@ -62,6 +63,7 @@ pub use ccc_core as core;
 pub use ccc_crypto as crypto;
 pub use ccc_lint as lint;
 pub use ccc_netsim as netsim;
+pub use ccc_obs as obs;
 pub use ccc_rootstore as rootstore;
 pub use ccc_testgen as testgen;
 pub use ccc_x509 as x509;
